@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the series it plots.  ``REPRO_BENCH_RUNS`` scales the Monte-Carlo trial
+counts (default keeps the full suite in the tens of minutes; raise it to
+approach the paper's 1000-run averages).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_runs(default: int) -> int:
+    """Trial count for Monte-Carlo benches, scalable via environment."""
+    scale = float(os.environ.get("REPRO_BENCH_RUNS", "1"))
+    return max(1, int(default * scale))
+
+
+@pytest.fixture
+def show():
+    """Printer that survives pytest's capture (shown with -s or on demand)."""
+
+    def _show(*lines: str) -> None:
+        print()
+        for line in lines:
+            print(line)
+
+    return _show
+
+
+def fmt_row(label: str, values, fmt: str = "{:>8.2f}") -> str:
+    """Format one labelled series row for figure-style output."""
+    return f"{label:<34s} " + " ".join(fmt.format(v) for v in values)

@@ -1,0 +1,58 @@
+"""Ablation: guard fraction alpha — privacy vs upload volume.
+
+alpha trades tracking protection (lower success ratio) against VP upload
+volume (Fig. 9).  The paper picks 0.1; this bench shows the trade-off
+curve that justifies it.
+"""
+
+from repro.analysis.privacyexp import privacy_experiment
+from repro.analysis.volume import vp_volume_curve
+from repro.geo.obstacles import corridor_los
+from repro.mobility.scenarios import city_scenario
+from repro.privacy.dataset import build_privacy_dataset
+from repro.privacy.metrics import average_series
+from repro.privacy.tracker import VPTracker
+
+from benchmarks.conftest import fmt_row
+
+ALPHAS = [0.05, 0.1, 0.3, 0.6]
+
+
+def test_ablation_guard_alpha(benchmark, show):
+    scn = city_scenario(area_km=3.0, n_vehicles=60, duration_s=10 * 60, seed=17)
+    los = lambda a, b: corridor_los(a, b, scn.block_m)
+
+    def sweep():
+        rows = {}
+        for alpha in ALPHAS:
+            dataset = build_privacy_dataset(scn.traces, alpha=alpha, los_fn=los, seed=17)
+            tracker = VPTracker(dataset)
+            success = average_series(
+                [tracker.track(v).success_ratios for v in range(0, 60, 10)]
+            )
+            rows[alpha] = (success[-1], dataset.vps_per_minute() / 60)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation — guard fraction alpha: privacy vs upload volume (10 min)",
+             fmt_row("alpha", ALPHAS, "{:>7.2f}"),
+             fmt_row("success ratio @10min", [rows[a][0] for a in ALPHAS], "{:>7.3f}"),
+             fmt_row("VPs / vehicle-minute", [rows[a][1] for a in ALPHAS], "{:>7.2f}"),
+             "paper design point: alpha = 0.1 (P_t < 0.01 within 5 min driving)."]
+    show(*lines)
+
+    # more guards => stronger privacy but more upload volume
+    assert rows[0.6][0] <= rows[0.05][0] + 0.05
+    assert rows[0.6][1] > rows[0.05][1]
+
+
+def test_ablation_alpha_volume_curves(benchmark, show):
+    neighbors = [25, 50, 100, 200]
+    curves = benchmark(lambda: {a: vp_volume_curve(a, neighbors) for a in ALPHAS})
+    lines = ["Upload volume per vehicle-minute (analytic)",
+             fmt_row("neighbours", neighbors, "{:>6.0f}")]
+    for a in ALPHAS:
+        lines.append(fmt_row(f"alpha={a}", curves[a], "{:>6.0f}"))
+    show(*lines)
+    assert curves[0.6][-1] > curves[0.05][-1]

@@ -1,0 +1,40 @@
+"""Fig. 9: volume of VP creation vs neighbourhood size, per alpha.
+
+Prints the analytic curve 1 + ceil(alpha*m) for alpha in {0.1, 0.5, 0.9}
+plus a simulated fleet point, and the P_t coverage trade-off behind the
+paper's choice of alpha=0.1.
+"""
+
+from repro.analysis.volume import coverage_vs_alpha, simulated_vp_volume, vp_volume_curve
+
+from benchmarks.conftest import fmt_row
+
+NEIGHBORS = [20, 40, 60, 80, 100, 120, 140, 160, 180, 200]
+
+
+def test_fig09_vp_volume(benchmark, show):
+    curves = benchmark(
+        lambda: {a: vp_volume_curve(a, NEIGHBORS) for a in (0.1, 0.5, 0.9)}
+    )
+
+    lines = ["Fig. 9 — VPs created per vehicle-minute vs neighbours",
+             fmt_row("neighbours m", NEIGHBORS, "{:>6.0f}")]
+    for alpha, curve in sorted(curves.items()):
+        lines.append(fmt_row(f"alpha = {alpha}", curve, "{:>6.0f}"))
+
+    mean_m, vpm = simulated_vp_volume(0.1, n_vehicles=40, area_km=2.0, minutes=2, seed=4)
+    lines.append(
+        f"simulated fleet (alpha=0.1): mean neighbours {mean_m:.1f}, "
+        f"VPs per vehicle-minute {vpm:.2f}"
+    )
+    coverage = coverage_vs_alpha([0.05, 0.1, 0.3], m=50, t_minutes=5)
+    lines.append(
+        "guard-coverage P_5min (m=50): "
+        + "  ".join(f"alpha={a}: {p:.4f}" for a, p in sorted(coverage.items()))
+    )
+    show(*lines)
+
+    # shape: volume grows with alpha and with density; alpha=0.1 keeps
+    # volume low while P_t < 0.01 (the paper's design argument)
+    assert curves[0.9][-1] > curves[0.5][-1] > curves[0.1][-1]
+    assert coverage[0.1] < 0.01

@@ -1,0 +1,62 @@
+"""Figs. 12 & 13: verification accuracy under colluding fake-VP attacks.
+
+Fig. 12 sweeps the attackers' distance to the trusted VP (hop bands) and
+the fake/legitimate ratio; Fig. 13 sweeps the number of legitimate dummy
+VPs per attacker (concentration attacks).
+"""
+
+from repro.analysis.verifyexp import HOP_BANDS, fig12_grid, fig13_grid
+
+from benchmarks.conftest import bench_runs, fmt_row
+
+RATIOS = [1.0, 3.0, 5.0]
+
+
+def test_fig12_accuracy_vs_attacker_position(benchmark, show):
+    runs = bench_runs(20)
+    grid = benchmark.pedantic(
+        lambda: fig12_grid(runs=runs, fake_ratios=RATIOS, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"Fig. 12 — accuracy (%) vs attacker hops to trusted VP ({runs} runs/cell)",
+        fmt_row("fake VP ratio", [f"{int(r*100)}%" for r in RATIOS], "{:>8s}"),
+    ]
+    for band in HOP_BANDS:
+        values = [100 * grid[band][r] for r in RATIOS]
+        lines.append(fmt_row(f"hops {band[0]}-{band[1]}", values, "{:>8.0f}"))
+    lines.append("paper: ~83% at worst for hops 1-5, ~99% elsewhere; more fakes help the defence.")
+    show(*lines)
+
+    near = grid[HOP_BANDS[0]]
+    far = grid[HOP_BANDS[-1]]
+    # shape: near-seed attackers are the only real threat; distance wins
+    assert far[1.0] >= near[1.0]
+    assert far[5.0] >= 0.9
+    assert near[1.0] >= 0.6  # defence still wins most trials at worst
+    # Corollary 1: flooding more fakes does not help the attacker
+    assert near[5.0] >= near[1.0] - 0.1
+
+
+def test_fig13_concentration_attacks(benchmark, show):
+    runs = bench_runs(15)
+    dummy_counts = [25, 75, 125]
+    grid = benchmark.pedantic(
+        lambda: fig13_grid(runs=runs, dummy_counts=dummy_counts, fake_ratios=RATIOS, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"Fig. 13 — accuracy (%) vs dummy VPs per attacker ({runs} runs/cell)",
+        fmt_row("fake VP ratio", [f"{int(r*100)}%" for r in RATIOS], "{:>8s}"),
+    ]
+    for dummies in dummy_counts:
+        values = [100 * grid[dummies][r] for r in RATIOS]
+        lines.append(fmt_row(f"{dummies} dummy VPs", values, "{:>8.0f}"))
+    lines.append("paper: accuracy stays above 95% — topology bounds trust, not quantity.")
+    show(*lines)
+
+    for dummies in dummy_counts:
+        for ratio in RATIOS:
+            assert grid[dummies][ratio] >= 0.85

@@ -1,0 +1,37 @@
+"""Fig. 14: Bloom-filter false linkage rate vs neighbour entries.
+
+Prints the analytic curves for m = 1024..4096 bits and validates the
+m=2048 design point against an empirical filter measurement.
+"""
+
+from repro.analysis.falselink import empirical_false_linkage, false_linkage_curves
+
+from benchmarks.conftest import bench_runs, fmt_row
+
+SIZES = [1024, 2048, 3072, 4096]
+COUNTS = [50, 100, 150, 200, 250, 300, 350, 400]
+
+
+def test_fig14_false_linkage(benchmark, show):
+    curves = benchmark(lambda: false_linkage_curves(SIZES, COUNTS))
+
+    lines = ["Fig. 14 — two-way false linkage rate vs filter entries",
+             fmt_row("entries n", COUNTS, "{:>9.0f}")]
+    for m in SIZES:
+        lines.append(fmt_row(f"m = {m} bits", curves[m], "{:>9.5f}"))
+
+    measured = empirical_false_linkage(2048, 300, trials=bench_runs(800), seed=2)
+    lines.append(
+        f"empirical check (m=2048, n=300): measured {measured:.5f} "
+        f"vs analytic {curves[2048][5]:.5f}"
+    )
+    lines.append("paper: m=2048 chosen for ~0.1% false linkage at 300 neighbours.")
+    show(*lines)
+
+    # shape: monotone in n, anti-monotone in m, design point ~0.1%
+    for m in SIZES:
+        assert curves[m] == sorted(curves[m])
+    at_300 = [curves[m][5] for m in SIZES]
+    assert at_300 == sorted(at_300, reverse=True)
+    assert 0.0003 < curves[2048][5] < 0.01
+    assert measured < 0.02

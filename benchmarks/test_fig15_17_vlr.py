@@ -1,0 +1,61 @@
+"""Figs. 15 & 17: VP linkage ratio vs distance.
+
+Fig. 15: four environments (open road, highway, residential, downtown).
+Fig. 17: highway speed x traffic-volume conditions — VLR is insensitive
+to speed but sensitive to heavy-traffic blockage.
+"""
+
+import numpy as np
+
+from repro.analysis.fieldtrial import ENVIRONMENTS, HIGHWAY_CONDITIONS, vlr_curve
+
+from benchmarks.conftest import bench_runs, fmt_row
+
+DISTANCES = [50, 100, 150, 200, 250, 300, 350, 400]
+
+
+def test_fig15_environments(benchmark, show):
+    windows = bench_runs(40)
+    curves = benchmark.pedantic(
+        lambda: {
+            key: vlr_curve(env, DISTANCES, windows=windows, seed=6)
+            for key, env in ENVIRONMENTS.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"Fig. 15 — VP linkage ratio vs distance ({windows} windows/point)",
+             fmt_row("distance (m)", DISTANCES, "{:>6.0f}")]
+    for key, curve in curves.items():
+        lines.append(fmt_row(ENVIRONMENTS[key].name, curve, "{:>6.2f}"))
+    lines.append("paper: open road > 99% out to 400 m; downtown decays steeply with distance.")
+    show(*lines)
+
+    assert all(v >= 0.97 for v in curves["open_road"])
+    assert curves["downtown"][-1] < 0.5
+    assert np.mean(curves["downtown"]) < np.mean(curves["residential"])
+    assert np.mean(curves["residential"]) < np.mean(curves["highway"])
+
+
+def test_fig17_speed_and_traffic(benchmark, show):
+    windows = bench_runs(40)
+
+    def run():
+        return [
+            (label, vlr_curve(env, DISTANCES, windows=windows, seed=int(speed) + i))
+            for i, (label, speed, env) in enumerate(HIGHWAY_CONDITIONS)
+        ]
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Fig. 17 — highway VLR vs distance ({windows} windows/point)",
+             fmt_row("distance (m)", DISTANCES, "{:>6.0f}")]
+    for label, curve in curves:
+        lines.append(fmt_row(label, curve, "{:>6.2f}"))
+    lines.append("paper: VLR insensitive to speed; traffic blockage is the impacting factor.")
+    show(*lines)
+
+    light80, light50, heavy80, heavy50 = [np.mean(c) for _, c in curves]
+    # speed pairs nearly coincide; heavy traffic sits below light traffic
+    assert abs(light80 - light50) < 0.1
+    assert abs(heavy80 - heavy50) < 0.1
+    assert (heavy80 + heavy50) / 2 < (light80 + light50) / 2

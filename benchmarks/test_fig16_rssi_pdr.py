@@ -1,0 +1,49 @@
+"""Fig. 16: PDR vs RSSI scatter.
+
+High RSSI gives certain delivery, low RSSI none, and the -100..-80 dBm
+band fluctuates — the paper's argument that RSSI is a poor predictor of
+VP linkage compared with LOS condition.
+"""
+
+import numpy as np
+
+from repro.analysis.fieldtrial import rssi_pdr_scatter
+
+from benchmarks.conftest import bench_runs, fmt_row
+
+
+def test_fig16_rssi_vs_pdr(benchmark, show):
+    samples = bench_runs(25)
+    pairs = benchmark.pedantic(
+        lambda: rssi_pdr_scatter(
+            [50, 100, 150, 200, 250, 300, 350, 400], samples_per_distance=samples, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    bins = [(-115, -105), (-105, -95), (-95, -85), (-85, -75), (-75, -60)]
+    centers, means, stds, counts = [], [], [], []
+    for lo, hi in bins:
+        vals = [p for r, p in pairs if lo <= r < hi]
+        centers.append((lo + hi) / 2)
+        means.append(float(np.mean(vals)) if vals else float("nan"))
+        stds.append(float(np.std(vals)) if vals else float("nan"))
+        counts.append(len(vals))
+
+    lines = ["Fig. 16 — PDR vs RSSI (binned scatter summary)",
+             fmt_row("RSSI bin centre (dBm)", centers, "{:>8.0f}"),
+             fmt_row("mean PDR", means, "{:>8.2f}"),
+             fmt_row("PDR std (fluctuation)", stds, "{:>8.2f}"),
+             fmt_row("samples", counts, "{:>8.0f}"),
+             "paper: PDR ~1 above -75 dBm, ~0 below -105 dBm, fluctuating -100..-80 dBm."]
+    show(*lines)
+
+    valid = [(c, m, s) for c, m, s, n in zip(centers, means, stds, counts) if n >= 5]
+    low = [m for c, m, s in valid if c <= -105]
+    high = [m for c, m, s in valid if c >= -70]
+    mid_std = [s for c, m, s in valid if -100 <= c <= -80]
+    if low and high:
+        assert min(high) > max(low)
+    if mid_std:
+        assert max(mid_std) > 0.1  # the fluctuation band is visible

@@ -1,0 +1,123 @@
+"""Fig. 22: the large-scale trace-driven evaluation (panels a-f).
+
+(a) location entropy and (b) tracking success with 1000 vehicles on an
+8x8 km grid; (c) contact time per speed; (d) verification accuracy vs
+attacker position and (e) under concentration attacks at city scale;
+(f) viewmap membership per speed configuration.
+"""
+
+from repro.analysis.cityexp import city_viewmap_stats, contact_time_by_speed
+from repro.analysis.privacyexp import privacy_experiment
+from repro.analysis.verifyexp import fig12_grid, fig13_grid
+
+from benchmarks.conftest import bench_runs, fmt_row
+
+MARKS = [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]
+
+
+def test_fig22ab_privacy_at_scale(benchmark, show):
+    curves = benchmark.pedantic(
+        lambda: privacy_experiment(
+            n_vehicles=1000,
+            area_km=8.0,
+            minutes=20,
+            mixed_speeds_kmh=(30.0, 50.0, 70.0),
+            n_targets=10,
+            seed=11,
+            label="n=1000 (mix)",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Fig. 22a — location entropy (bits), n=1000, 8x8 km",
+             fmt_row("minute", MARKS, "{:>6.0f}"),
+             fmt_row(curves.label, [curves.entropy_bits[m] for m in MARKS], "{:>6.2f}"),
+             "",
+             "Fig. 22b — tracking success ratio",
+             fmt_row(curves.label, [curves.success_ratio[m] for m in MARKS], "{:>6.3f}"),
+             "paper: ~8 bits by 10 min; success 0.1 by 3 min, ~0.01 by 10 min."]
+    show(*lines)
+
+    assert curves.entropy_bits[10] >= 5.0
+    assert curves.success_ratio[4] <= 0.25
+    assert curves.success_ratio[10] <= 0.05
+
+
+def test_fig22c_contact_time_by_speed(benchmark, show):
+    contact = benchmark.pedantic(
+        lambda: contact_time_by_speed([30.0, 50.0, 70.0, None], seed=12),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Fig. 22c — average contact time between vehicles (s)"]
+    lines.append("  ".join(f"{k}: {v:.1f}" for k, v in contact.items()))
+    lines.append("paper: roughly 13/10/8 s for 30/50/70 km/h; mix in between.")
+    show(*lines)
+
+    assert contact["30km/h"] > contact["70km/h"]
+    assert 3.0 < contact["70km/h"] < 20.0
+    assert contact["30km/h"] < 40.0
+
+
+def test_fig22d_accuracy_vs_position_at_scale(benchmark, show):
+    runs = bench_runs(15)
+    bands = [(1, 5), (11, 15), (21, 25)]
+    grid = benchmark.pedantic(
+        lambda: fig12_grid(runs=runs, hop_bands=bands, fake_ratios=[1.0, 5.0], seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"Fig. 22d — accuracy (%) vs attacker position ({runs} runs/cell)"]
+    for band in bands:
+        lines.append(
+            f"hops {band[0]:>2d}-{band[1]:<2d}: "
+            + "  ".join(f"{int(r*100)}% fakes: {100*a:.0f}%" for r, a in grid[band].items())
+        )
+    lines.append("paper: 100% in most cases, 82% at worst near the trusted VP.")
+    show(*lines)
+
+    assert grid[(21, 25)][1.0] >= 0.9
+    assert grid[(1, 5)][1.0] >= 0.6
+
+
+def test_fig22e_concentration_at_scale(benchmark, show):
+    runs = bench_runs(10)
+    counts = [50, 150, 250]
+    grid = benchmark.pedantic(
+        lambda: fig13_grid(runs=runs, dummy_counts=counts, fake_ratios=[1.0, 5.0], seed=14),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"Fig. 22e — accuracy (%) under concentration attacks ({runs} runs/cell)"]
+    for dummies in counts:
+        lines.append(
+            f"{dummies:>3d} dummy VPs: "
+            + "  ".join(f"{int(r*100)}% fakes: {100*a:.0f}%" for r, a in grid[dummies].items())
+        )
+    lines.append("paper: accuracy above 95% regardless of dummy count.")
+    show(*lines)
+
+    for dummies in counts:
+        for ratio, acc in grid[dummies].items():
+            assert acc >= 0.8
+
+
+def test_fig22f_viewmap_membership(benchmark, show):
+    def run():
+        rows = []
+        for speed, mixed in ((30.0, ()), (50.0, ()), (70.0, ()), (None, (30.0, 50.0, 70.0))):
+            stats, _ = city_viewmap_stats(
+                speed, mixed_speeds_kmh=mixed, n_vehicles=250, area_km=5.0, seed=15
+            )
+            rows.append(stats)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Fig. 22f — viewmap member VPs (%) per speed configuration"]
+    for stats in rows:
+        lines.append(f"{stats.label:>8s}: {100 * stats.member_ratio:.1f}%")
+    lines.append("paper: > 97% of VPs join the viewmap; isolation is rare (<3%).")
+    show(*lines)
+
+    for stats in rows:
+        assert stats.member_ratio >= 0.9

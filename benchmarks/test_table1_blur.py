@@ -1,0 +1,36 @@
+"""Table 1: frame rates of realtime licence-plate blurring.
+
+Measures the numpy/scipy pipeline per frame (the benchmarked quantity),
+then prints the platform-scaled stage times against the published rows.
+"""
+
+from repro.analysis.blurexp import table1_rows
+from repro.vision.blur import BlurPipeline
+from repro.vision.frames import FrameSpec, synthesize_frame
+
+from benchmarks.conftest import fmt_row
+
+
+def test_table1_blur_pipeline(benchmark, show):
+    pipeline = BlurPipeline()
+    frame, _ = synthesize_frame(FrameSpec(), rng=1)
+
+    benchmark(lambda: pipeline.process(frame))
+
+    rows = table1_rows(frames=20, seed=1)
+    lines = [
+        "Table 1 — realtime plate blurring (modelled vs paper)",
+        f"{'Platform':<22s} {'Blur ms':>9s} {'(paper)':>8s} {'I/O ms':>9s} "
+        f"{'(paper)':>8s} {'fps':>6s} {'(paper)':>7s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.platform:<22s} {row.blur_ms:>9.2f} {row.paper_blur_ms:>8.2f} "
+            f"{row.io_ms:>9.2f} {row.paper_io_ms:>8.2f} "
+            f"{row.fps:>6.1f} {row.paper_fps:>7d}"
+        )
+    show(*lines)
+
+    # shape checks: ordering and the Pi's realtime usability
+    assert rows[0].fps < rows[1].fps < rows[2].fps
+    assert rows[0].fps >= 9.5

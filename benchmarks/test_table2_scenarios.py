@@ -1,0 +1,39 @@
+"""Table 2: VP linkage and on-video percentages across 14 field scenarios."""
+
+from repro.analysis.scenarios import TABLE2_SCENARIOS, run_scenario
+
+from benchmarks.conftest import bench_runs
+
+
+def test_table2_scenario_catalogue(benchmark, show):
+    windows = bench_runs(80)
+
+    def run_all():
+        return [
+            (s, *run_scenario(s, windows=windows, seed=8)) for s in TABLE2_SCENARIOS
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"Table 2 — measurement scenarios ({windows} windows each)",
+        f"{'Scenario':<20s} {'Condition':<10s} {'Linkage %':>10s} {'(paper)':>8s} "
+        f"{'Video %':>9s} {'(paper)':>8s}",
+    ]
+    for scenario, link, video in results:
+        lines.append(
+            f"{scenario.name:<20s} {scenario.condition:<10s} {link:>10.0f} "
+            f"{scenario.paper_linkage:>8.0f} {video:>9.0f} {scenario.paper_video:>8.0f}"
+        )
+    show(*lines)
+
+    for scenario, link, video in results:
+        # every row within 20 points of the published value, and the
+        # LOS/NLOS dichotomy preserved exactly
+        assert abs(link - scenario.paper_linkage) <= 20.0, scenario.name
+        assert abs(video - scenario.paper_video) <= 20.0, scenario.name
+        if scenario.condition == "LOS":
+            assert link >= 75.0, scenario.name
+        if scenario.condition == "NLOS":
+            assert link <= 25.0, scenario.name
+            assert video <= 10.0, scenario.name

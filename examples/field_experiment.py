@@ -1,0 +1,44 @@
+"""The Section 7 field study in simulation: LOS dominates VP linkage.
+
+Reproduces the measurement methodology of the paper's real-road
+experiments: two instrumented vehicles exchange per-second view digests
+while the environment interposes buildings and traffic.  Prints the
+VLR-vs-distance curves (Fig. 15), the Table 2 scenario catalogue, and
+the linkage/video correlation (Fig. 20).
+
+Run:  python examples/field_experiment.py
+"""
+
+from repro.analysis.correlation import link_video_correlation
+from repro.analysis.fieldtrial import ENVIRONMENTS, vlr_curve
+from repro.analysis.scenarios import TABLE2_SCENARIOS, run_scenario
+
+DISTANCES = [50, 100, 200, 300, 400]
+
+
+def main():
+    print("== Fig. 15: VP linkage ratio vs distance ==")
+    print(f"{'environment':<18s}" + "".join(f"{d:>7d}m" for d in DISTANCES))
+    for key, env in ENVIRONMENTS.items():
+        curve = vlr_curve(env, DISTANCES, windows=30, seed=1)
+        print(f"{env.name:<18s}" + "".join(f"{v:>8.2f}" for v in curve))
+
+    print("\n== Table 2: scenario catalogue (paper vs measured) ==")
+    print(f"{'scenario':<20s} {'condition':<10s} {'link%':>6s} {'(paper)':>8s} "
+          f"{'video%':>7s} {'(paper)':>8s}")
+    for scenario in TABLE2_SCENARIOS:
+        link, video = run_scenario(scenario, windows=60, seed=2)
+        print(f"{scenario.name:<20s} {scenario.condition:<10s} {link:>6.0f} "
+              f"{scenario.paper_linkage:>8.0f} {video:>7.0f} {scenario.paper_video:>8.0f}")
+
+    print("\n== Fig. 20: correlation between VP links and video contents ==")
+    envs = [ENVIRONMENTS["downtown"], ENVIRONMENTS["residential"], ENVIRONMENTS["highway"]]
+    corr = link_video_correlation(envs, [float(d) for d in DISTANCES], windows=40, seed=3)
+    print("".join(f"{d:>7d}m" for d in DISTANCES))
+    print("".join(f"{corr[float(d)]:>8.2f}" for d in DISTANCES))
+    print("\nLOS condition — not distance, RSSI or speed — decides VP linkage, and")
+    print("linked VPs really do share a view: the paper's field conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Guard VPs vs the tracking adversary (the Fig. 10/11 story).
+
+The system itself plays the tracker: starting from perfect knowledge of a
+target's first VP it links VPs adjacent in space and time through the
+anonymized database.  Without guard VPs the chase succeeds; with them the
+belief fragments across decoy trajectories every minute.
+
+Run:  python examples/privacy_tracking.py
+"""
+
+from repro.geo.obstacles import corridor_los
+from repro.mobility.scenarios import city_scenario
+from repro.privacy.dataset import build_privacy_dataset
+from repro.privacy.metrics import average_series
+from repro.privacy.tracker import VPTracker
+
+
+def curves(dataset, targets):
+    tracker = VPTracker(dataset)
+    runs = [tracker.track(v) for v in targets]
+    return (
+        average_series([r.entropies for r in runs]),
+        average_series([r.success_ratios for r in runs]),
+    )
+
+
+def main():
+    print("Simulating 80 vehicles on a 4x4 km grid for 15 minutes...")
+    scn = city_scenario(area_km=4.0, n_vehicles=80, duration_s=15 * 60, seed=77)
+    los = lambda a, b: corridor_los(a, b, scn.block_m)
+
+    guarded = build_privacy_dataset(scn.traces, los_fn=los, seed=77)
+    unguarded = build_privacy_dataset(scn.traces, los_fn=los, with_guards=False, seed=77)
+    print(f"  with guards:    {guarded.vps_per_minute():.0f} VPs/minute in the database")
+    print(f"  without guards: {unguarded.vps_per_minute():.0f} VPs/minute")
+
+    targets = list(range(0, 80, 8))
+    ent_g, suc_g = curves(guarded, targets)
+    ent_u, suc_u = curves(unguarded, targets)
+
+    print(f"\n{'minute':>6s} {'entropy(guard)':>15s} {'success(guard)':>15s} "
+          f"{'success(no guard)':>18s}")
+    for m in range(0, 15, 2):
+        print(f"{m:>6d} {ent_g[m]:>15.2f} {suc_g[m]:>15.3f} {suc_u[m]:>18.3f}")
+
+    print("\nWith guard VPs the tracker's belief collapses "
+          f"({suc_g[-1]:.3f} by minute {len(suc_g)-1}); without them the raw "
+          f"anonymized locations remain trackable ({suc_u[-1]:.3f}).")
+    print("X bits of entropy ~ 2^X equally likely locations "
+          f"(here: {2**ent_g[-1]:.0f} suspects at the end).")
+
+
+if __name__ == "__main__":
+    main()

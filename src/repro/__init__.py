@@ -1,0 +1,52 @@
+"""repro — a full reproduction of ViewMap (NSDI 2017).
+
+ViewMap is an automated public-service system for sharing private
+in-vehicle dashcam videos under anonymity: videos are represented by
+compact *view profiles* (VPs) cross-linked over DSRC line-of-sight
+contacts, verified with TrustRank over *viewmaps*, solicited by anonymous
+identifier, and rewarded with blind-signature virtual cash.  Location
+privacy in the VP database is protected by decoy *guard VPs*.
+
+Package map:
+
+* :mod:`repro.core` — the paper's contribution (VDs, VPs, guards,
+  viewmaps, verification, solicitation, rewarding, the system facade);
+* :mod:`repro.crypto` — hashes, Bloom filters, RSA blind signatures;
+* :mod:`repro.geo` / :mod:`repro.radio` / :mod:`repro.mobility` /
+  :mod:`repro.sim` — the road, radio and traffic substrates;
+* :mod:`repro.privacy` / :mod:`repro.attacks` — the tracking adversary
+  and fake-VP attack models;
+* :mod:`repro.vision` — realtime licence-plate blurring;
+* :mod:`repro.net` — onion-routed anonymous client/server;
+* :mod:`repro.analysis` — drivers for every table and figure.
+"""
+
+from repro.core.system import Investigation, ViewMapSystem
+from repro.core.vehicle import RecordedVideo, VehicleAgent
+from repro.core.viewdigest import VDGenerator, ViewDigest
+from repro.core.viewmap import ViewMapGraph, build_viewmap, mutual_linkage
+from repro.core.viewprofile import ViewProfile, build_view_profile
+from repro.core.verification import VerificationResult, trustrank, verify_viewmap
+from repro.geo.geometry import Point, Rect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ViewMapSystem",
+    "Investigation",
+    "VehicleAgent",
+    "RecordedVideo",
+    "ViewDigest",
+    "VDGenerator",
+    "ViewProfile",
+    "build_view_profile",
+    "ViewMapGraph",
+    "build_viewmap",
+    "mutual_linkage",
+    "VerificationResult",
+    "trustrank",
+    "verify_viewmap",
+    "Point",
+    "Rect",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Experiment drivers: one module per paper table/figure family.
+
+These are thin, reusable layers over the library that produce exactly the
+series each figure plots; the pytest-benchmark targets and the examples
+call into them so results are consistent everywhere.
+"""
+
+from repro.analysis.fieldtrial import (
+    Environment,
+    ENVIRONMENTS,
+    HIGHWAY_CONDITIONS,
+    WindowOutcome,
+    simulate_window,
+    vlr_curve,
+    rssi_pdr_scatter,
+)
+from repro.analysis.correlation import pearson, link_video_correlation
+from repro.analysis.scenarios import TABLE2_SCENARIOS, run_scenario, Scenario
+from repro.analysis.falselink import false_linkage_curves, empirical_false_linkage
+from repro.analysis.volume import vp_volume_curve, simulated_vp_volume
+from repro.analysis.hashexp import hash_time_series
+from repro.analysis.blurexp import table1_rows
+from repro.analysis.privacyexp import privacy_experiment, PrivacyCurves
+from repro.analysis.verifyexp import fig12_grid, fig13_grid
+from repro.analysis.cityexp import city_viewmap_stats, contact_time_by_speed
+
+__all__ = [
+    "Environment",
+    "ENVIRONMENTS",
+    "HIGHWAY_CONDITIONS",
+    "WindowOutcome",
+    "simulate_window",
+    "vlr_curve",
+    "rssi_pdr_scatter",
+    "pearson",
+    "link_video_correlation",
+    "TABLE2_SCENARIOS",
+    "run_scenario",
+    "Scenario",
+    "false_linkage_curves",
+    "empirical_false_linkage",
+    "vp_volume_curve",
+    "simulated_vp_volume",
+    "hash_time_series",
+    "table1_rows",
+    "privacy_experiment",
+    "PrivacyCurves",
+    "fig12_grid",
+    "fig13_grid",
+    "city_viewmap_stats",
+    "contact_time_by_speed",
+]

@@ -1,0 +1,65 @@
+"""Privacy experiments: entropy and tracking success over time.
+
+Drives Figs 10/11 (4x4 km, 50-200 vehicles) and Figs 22a/b (8x8 km,
+1000 vehicles, mixed speeds): simulate traffic, derive the VP database
+view, run the tracker against a sample of targets, and average the
+per-minute entropy and success-ratio curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.obstacles import corridor_los
+from repro.mobility.scenarios import city_scenario
+from repro.privacy.dataset import build_privacy_dataset
+from repro.privacy.metrics import average_series
+from repro.privacy.tracker import VPTracker
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class PrivacyCurves:
+    """Fleet-averaged tracking curves for one configuration."""
+
+    label: str
+    minutes: list[int]
+    entropy_bits: list[float]
+    success_ratio: list[float]
+
+
+def privacy_experiment(
+    n_vehicles: int,
+    area_km: float,
+    minutes: int = 20,
+    mixed_speeds_kmh: tuple[float, ...] = (),
+    speed_kmh: float = 50.0,
+    with_guards: bool = True,
+    n_targets: int = 10,
+    seed: int = 0,
+    label: str | None = None,
+) -> PrivacyCurves:
+    """Run one tracking experiment and return averaged curves."""
+    scn = city_scenario(
+        area_km=area_km,
+        n_vehicles=n_vehicles,
+        duration_s=minutes * 60,
+        speed_kmh=speed_kmh,
+        mixed_speeds_kmh=mixed_speeds_kmh,
+        seed=derive_seed(seed, "traffic", n_vehicles),
+    )
+    dataset = build_privacy_dataset(
+        scn.traces,
+        los_fn=lambda a, b: corridor_los(a, b, scn.block_m),
+        with_guards=with_guards,
+        seed=derive_seed(seed, "dataset"),
+    )
+    tracker = VPTracker(dataset)
+    step = max(1, n_vehicles // n_targets)
+    runs = [tracker.track(v) for v in range(0, n_vehicles, step)]
+    return PrivacyCurves(
+        label=label or f"n={n_vehicles}" + ("" if with_guards else " (no guards)"),
+        minutes=runs[0].minutes,
+        entropy_bits=average_series([r.entropies for r in runs]),
+        success_ratio=average_series([r.success_ratios for r in runs]),
+    )

@@ -1,0 +1,68 @@
+"""Verification sweeps: the Fig 12/13 (and 22d/e) accuracy grids.
+
+Thin parameter-grid wrappers over :mod:`repro.attacks`: x-axis bands (or
+dummy-VP counts) crossed with fake-VP ratios, each cell an accuracy over
+repeated randomized trials.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.collusion import SyntheticViewmapConfig, verification_accuracy
+from repro.attacks.concentration import concentration_accuracy
+from repro.util.rng import derive_seed
+
+#: The paper's x-axis bins for Fig 12 / Fig 22d.
+HOP_BANDS = [(1, 5), (6, 10), (11, 15), (16, 20), (21, 25)]
+
+#: Fake-VP ratios as fractions of the legitimate population.
+FAKE_RATIOS = [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def fig12_grid(
+    runs: int = 30,
+    hop_bands: list[tuple[int, int]] | None = None,
+    fake_ratios: list[float] | None = None,
+    config: SyntheticViewmapConfig | None = None,
+    seed: int = 0,
+) -> dict[tuple[int, int], dict[float, float]]:
+    """Accuracy per (attacker hop band, fake ratio) — Fig 12 / Fig 22d."""
+    hop_bands = hop_bands or HOP_BANDS
+    fake_ratios = fake_ratios or FAKE_RATIOS
+    config = config or SyntheticViewmapConfig()
+    grid: dict[tuple[int, int], dict[float, float]] = {}
+    for band in hop_bands:
+        grid[band] = {}
+        for ratio in fake_ratios:
+            grid[band][ratio] = verification_accuracy(
+                band,
+                ratio,
+                runs=runs,
+                config=config,
+                seed=derive_seed(seed, "fig12", band, ratio),
+            )
+    return grid
+
+
+def fig13_grid(
+    runs: int = 30,
+    dummy_counts: list[int] | None = None,
+    fake_ratios: list[float] | None = None,
+    config: SyntheticViewmapConfig | None = None,
+    seed: int = 0,
+) -> dict[int, dict[float, float]]:
+    """Accuracy per (dummy VPs per attacker, fake ratio) — Fig 13 / 22e."""
+    dummy_counts = dummy_counts or [25, 50, 75, 100, 125]
+    fake_ratios = fake_ratios or FAKE_RATIOS
+    config = config or SyntheticViewmapConfig()
+    grid: dict[int, dict[float, float]] = {}
+    for dummies in dummy_counts:
+        grid[dummies] = {}
+        for ratio in fake_ratios:
+            grid[dummies][ratio] = concentration_accuracy(
+                dummies,
+                ratio,
+                runs=runs,
+                config=config,
+                seed=derive_seed(seed, "fig13", dummies, ratio),
+            )
+    return grid

@@ -1,0 +1,37 @@
+"""Attack models from Section 6.3: fake VP injection and linkage abuse.
+
+* :mod:`repro.attacks.collusion` — colluding attackers with legitimate
+  VPs at a chosen distance from the trusted seed inject a parallel layer
+  of fake VPs (the multi-layer structure of Fig. 7); drives Figs 12/22d.
+* :mod:`repro.attacks.concentration` — attackers holding many legitimate
+  but dummy VPs in one viewmap (Figs 13/22e).
+* :mod:`repro.attacks.faker` — forging standalone fake ViewProfiles that
+  cheat locations/times, for system-level rejection tests.
+* :mod:`repro.attacks.poisoning` — Bloom-filter linkage attacks
+  (all-ones bit-arrays, neighbour-table flooding) and their mitigations.
+"""
+
+from repro.attacks.collusion import (
+    SyntheticViewmapConfig,
+    SyntheticViewmap,
+    build_synthetic_viewmap,
+    inject_fake_layer,
+    run_verification_trial,
+    verification_accuracy,
+)
+from repro.attacks.concentration import concentration_accuracy
+from repro.attacks.faker import forge_fake_vp
+from repro.attacks.poisoning import all_ones_attack_detected, flood_neighbor_table
+
+__all__ = [
+    "SyntheticViewmapConfig",
+    "SyntheticViewmap",
+    "build_synthetic_viewmap",
+    "inject_fake_layer",
+    "run_verification_trial",
+    "verification_accuracy",
+    "concentration_accuracy",
+    "forge_fake_vp",
+    "all_ones_attack_detected",
+    "flood_neighbor_table",
+]

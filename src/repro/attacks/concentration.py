@@ -1,0 +1,103 @@
+"""Concentration attacks: many legitimate-but-dummy VPs per attacker.
+
+Section 6.3.1 / Figs 13 and 22e: attackers "prepare a lot of dummy videos
+beforehand and use them to obtain many legitimate VPs for a single
+viewmap" — e.g. by driving around with stacks of dashcams.  Those dummy
+VPs are properly generated, so they join the viewmap as ordinary members
+at whatever positions the attackers happened to drive through; the fake
+layer then anchors on *all* of them.
+
+The paper's result — accuracy stays above 95% — holds because the dummy
+VPs' trust scores are bounded by their topological positions (out of the
+attackers' control), not by their quantity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.attacks.collusion import (
+    SyntheticViewmap,
+    SyntheticViewmapConfig,
+    build_synthetic_viewmap,
+    inject_fake_layer,
+)
+from repro.constants import TRUSTRANK_DAMPING
+from repro.core.verification import verify_site_members
+from repro.util.rng import derive_seed, make_rng
+
+
+def place_dummy_vps(
+    vmap: SyntheticViewmap,
+    n_attackers: int,
+    dummies_per_attacker: int,
+    seed: int = 0,
+) -> None:
+    """Scatter each attacker's dummy VPs uniformly over the viewmap area.
+
+    Dummies are legitimate members: they link to in-range legitimate VPs
+    like any real VP would (the attackers really drove those paths).
+    """
+    rng = make_rng(derive_seed(seed, "dummies"))
+    cfg = vmap.config
+    legit_ids = sorted(vmap.legit)
+    legit_pts = np.array([vmap.positions[n] for n in legit_ids])
+    tree = cKDTree(legit_pts)
+    next_id = max(vmap.graph.nodes) + 1
+    for _ in range(n_attackers * dummies_per_attacker):
+        x = rng.uniform(0, cfg.area_length_m)
+        y = rng.uniform(0, cfg.area_width_m)
+        node = next_id
+        next_id += 1
+        vmap.graph.add_node(node)
+        vmap.positions[node] = (x, y)
+        vmap.attackers.add(node)
+        for idx in tree.query_ball_point((x, y), cfg.link_radius_m):
+            if rng.random() < cfg.p_link:
+                vmap.graph.add_edge(node, legit_ids[idx])
+
+
+def concentration_trial(
+    dummies_per_attacker: int,
+    fake_ratio: float,
+    n_attackers: int = 1,
+    config: SyntheticViewmapConfig = SyntheticViewmapConfig(),
+    damping: float = TRUSTRANK_DAMPING,
+    seed: int = 0,
+) -> bool:
+    """One concentration-attack trial; True when verification resisted."""
+    vmap = build_synthetic_viewmap(config, seed=derive_seed(seed, "map"))
+    place_dummy_vps(vmap, n_attackers, dummies_per_attacker, seed=seed)
+    inject_fake_layer(vmap, n_fakes=round(fake_ratio * config.n_legit), seed=seed)
+    site = vmap.site_members()
+    if not site:
+        return True
+    result = verify_site_members(vmap.graph, [vmap.trusted], site, damping=damping)
+    return result.top_site_vp not in vmap.fakes
+
+
+def concentration_accuracy(
+    dummies_per_attacker: int,
+    fake_ratio: float,
+    runs: int = 50,
+    n_attackers: int = 1,
+    config: SyntheticViewmapConfig = SyntheticViewmapConfig(),
+    damping: float = TRUSTRANK_DAMPING,
+    seed: int = 0,
+) -> float:
+    """Accuracy under concentration attacks (Figs 13 / 22e)."""
+    wins = sum(
+        concentration_trial(
+            dummies_per_attacker,
+            fake_ratio,
+            n_attackers=n_attackers,
+            config=config,
+            damping=damping,
+            seed=derive_seed(seed, "trial", i),
+        )
+        for i in range(runs)
+    )
+    return wins / runs

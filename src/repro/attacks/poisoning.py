@@ -1,0 +1,76 @@
+"""Bloom-filter linkage attacks and their mitigations (Section 6.3.2).
+
+Two attacks:
+
+* **All-ones bit-arrays** — a fake VP ships a saturated Bloom filter,
+  claiming neighbourship with everyone.  The one-way test then always
+  passes, but the two-way test and location/time proximity still reject
+  it; the saturation itself is also trivially detectable.
+* **Neighbour-table flooding** — an attacker broadcasts VDs under many
+  different R values to poison honest vehicles' Blooms toward all-ones.
+  Footnote 10's cap of 250 neighbour VPs bounds the damage; this module
+  measures the fill ratio a flood can reach under the cap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constants import BLOOM_BITS, MAX_NEIGHBOR_VPS
+from repro.core.neighbors import NeighborTable
+from repro.core.viewdigest import ViewDigest, make_secret, vp_id_from_secret
+from repro.core.viewprofile import ViewProfile, build_view_profile
+from repro.crypto.bloom import BloomFilter
+from repro.util.encoding import f32round
+from repro.util.rng import make_rng
+
+
+def all_ones_attack_detected(vp: ViewProfile, threshold: float = 0.95) -> bool:
+    """Flag a VP whose Bloom filter is suspiciously saturated."""
+    return vp.bloom.is_saturated(threshold)
+
+
+def flood_neighbor_table(
+    victim_digests: list[ViewDigest],
+    n_fake_identities: int,
+    max_neighbors: int = MAX_NEIGHBOR_VPS,
+    rng: random.Random | int | None = None,
+) -> tuple[ViewProfile, int]:
+    """Simulate a VD flood against one vehicle's neighbour table.
+
+    The attacker sends one VD under each of ``n_fake_identities`` distinct
+    R values (all claiming valid nearby positions).  Returns the victim's
+    resulting VP and how many flood identities the cap rejected.
+    """
+    rng = make_rng(rng)
+    table = NeighborTable(max_neighbors=max_neighbors)
+    base = victim_digests[0]
+    for _ in range(n_fake_identities):
+        secret = make_secret(rng)
+        vd = ViewDigest(
+            second_index=1,
+            t=base.t,
+            location=(
+                f32round(base.location[0] + rng.uniform(-200, 200)),
+                f32round(base.location[1] + rng.uniform(-200, 200)),
+            ),
+            file_size=rng.randint(500_000, 1_000_000),
+            initial_location=base.initial_location,
+            vp_id=vp_id_from_secret(secret),
+            chain_hash=rng.getrandbits(128).to_bytes(16, "big"),
+        )
+        table.accept(vd)
+    vp = build_view_profile(victim_digests, table)
+    return vp, table.rejected_over_cap
+
+
+def max_fill_ratio_under_cap(
+    max_neighbors: int = MAX_NEIGHBOR_VPS, m_bits: int = BLOOM_BITS, k: int = 8
+) -> float:
+    """Analytic ceiling on Bloom fill a capped flood can achieve.
+
+    With at most ``max_neighbors`` neighbour VPs and two VDs each, at most
+    ``2 * max_neighbors * k`` bit positions are set: the expected fill is
+    1 - (1 - 1/m)^(2nk), well below saturation for the paper's constants.
+    """
+    return 1.0 - (1.0 - 1.0 / m_bits) ** (2 * max_neighbors * k)

@@ -1,0 +1,142 @@
+"""Command-line interface: run paper experiments from the terminal.
+
+Usage::
+
+    python -m repro.cli list                 # available experiments
+    python -m repro.cli fig15                # VLR vs distance curves
+    python -m repro.cli table2 --windows 50
+    python -m repro.cli fig21 --out viewmap.json
+
+Each command wraps the corresponding :mod:`repro.analysis` driver with
+modest default workloads; benches remain the canonical reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig15(args: argparse.Namespace) -> None:
+    from repro.analysis.fieldtrial import ENVIRONMENTS, vlr_curve
+
+    distances = [50, 100, 150, 200, 250, 300, 350, 400]
+    print("environment        " + "".join(f"{d:>7d}" for d in distances))
+    for env in ENVIRONMENTS.values():
+        curve = vlr_curve(env, distances, windows=args.windows, seed=args.seed)
+        print(f"{env.name:<19s}" + "".join(f"{v:>7.2f}" for v in curve))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.analysis.scenarios import TABLE2_SCENARIOS, run_scenario
+
+    print(f"{'scenario':<20s} {'condition':<10s} {'link%':>6s} {'paper':>6s} "
+          f"{'video%':>7s} {'paper':>6s}")
+    for scenario in TABLE2_SCENARIOS:
+        link, video = run_scenario(scenario, windows=args.windows, seed=args.seed)
+        print(f"{scenario.name:<20s} {scenario.condition:<10s} {link:>6.0f} "
+              f"{scenario.paper_linkage:>6.0f} {video:>7.0f} {scenario.paper_video:>6.0f}")
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from repro.analysis.hashexp import hash_time_series
+
+    series = hash_time_series(seconds=60, repeats=2)
+    print("second   cascaded(s)   whole-file(s)")
+    for mark in (10, 20, 30, 40, 50, 60):
+        print(f"{mark:>6d} {series.cascaded_s[mark-1]:>12.5f} "
+              f"{series.normal_s[mark-1]:>14.5f}")
+
+
+def _cmd_privacy(args: argparse.Namespace) -> None:
+    from repro.analysis.privacyexp import privacy_experiment
+
+    curves = privacy_experiment(
+        n_vehicles=args.vehicles,
+        area_km=args.area_km,
+        minutes=args.minutes,
+        n_targets=8,
+        seed=args.seed,
+    )
+    print("minute  entropy(bits)  success")
+    for m, (e, s) in enumerate(zip(curves.entropy_bits, curves.success_ratio)):
+        print(f"{m:>6d} {e:>14.2f} {s:>8.3f}")
+
+
+def _cmd_fig12(args: argparse.Namespace) -> None:
+    from repro.analysis.verifyexp import fig12_grid
+
+    grid = fig12_grid(runs=args.runs, fake_ratios=[1.0, 5.0], seed=args.seed)
+    for band, row in grid.items():
+        cells = "  ".join(f"{int(r*100)}% fakes: {100*a:.0f}%" for r, a in row.items())
+        print(f"hops {band[0]:>2d}-{band[1]:<2d}  {cells}")
+
+
+def _cmd_fig21(args: argparse.Namespace) -> None:
+    from repro.analysis.cityexp import city_viewmap_stats
+    from repro.core.export import render_ascii, save_viewmap
+
+    stats, vmap = city_viewmap_stats(
+        args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed
+    )
+    print(f"{stats.label}: {stats.nodes} VPs, {stats.edges} viewlinks, "
+          f"member ratio {stats.member_ratio:.3f}")
+    print(render_ascii(vmap))
+    if args.out:
+        save_viewmap(vmap, args.out)
+        print(f"viewmap exported to {args.out}")
+
+
+COMMANDS = {
+    "fig8": (_cmd_fig8, "hash generation: cascaded vs whole-file"),
+    "fig12": (_cmd_fig12, "verification accuracy vs attacker position"),
+    "fig15": (_cmd_fig15, "VP linkage ratio vs distance per environment"),
+    "fig21": (_cmd_fig21, "build and render a traffic-derived viewmap"),
+    "privacy": (_cmd_privacy, "tracking entropy/success over time (figs 10/11/22ab)"),
+    "table2": (_cmd_table2, "the 14 field measurement scenarios"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ViewMap (NSDI 2017) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_, help_text) in COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--windows", type=int, default=40)
+        cmd.add_argument("--runs", type=int, default=10)
+        cmd.add_argument("--vehicles", type=int, default=100)
+        cmd.add_argument("--area-km", type=float, default=4.0)
+        cmd.add_argument("--minutes", type=int, default=10)
+        cmd.add_argument("--speed", type=float, default=50.0)
+        cmd.add_argument("--out", type=str, default="")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command in (None, "list"):
+            print("available experiments:")
+            for name, (_, help_text) in COMMANDS.items():
+                print(f"  {name:<10s} {help_text}")
+            return 0
+        handler, _ = COMMANDS[args.command]
+        handler(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Project-wide constants taken from the ViewMap paper (NSDI 2017).
+
+Values that the paper states explicitly are annotated with the section
+they come from.  Everything here is a default; most APIs accept overrides.
+"""
+
+# --- DSRC radio (Sections 5.1, 7.1) -------------------------------------
+DSRC_RANGE_M = 400.0          #: maximum DSRC line-of-sight range (Section 5.1.2)
+DSRC_TX_POWER_DBM = 14.0      #: transmission power recommended in [17] (Section 7.1)
+BEACON_INTERVAL_S = 1.0       #: VD broadcast period (Section 5.1.1)
+
+# --- Video / VP parameters (Sections 2, 5.1, 6.1) ------------------------
+VIDEO_UNIT_SECONDS = 60       #: unit recording time: 1-minute segments
+VIDEO_BYTES_PER_MINUTE = 50 * 1024 * 1024   #: avg 1-min video is 50 MB (Section 6.1)
+VD_MESSAGE_BYTES = 72         #: VD wire size excluding PHY/MAC headers (Section 6.1)
+VP_SECRET_BYTES = 8           #: per-video secret number Q_u (Section 6.1)
+BLOOM_BYTES = 256             #: Bloom filter bit-array size: 2048 bits (Section 6.3.2)
+BLOOM_BITS = BLOOM_BYTES * 8
+VP_STORAGE_BYTES = VIDEO_UNIT_SECONDS * VD_MESSAGE_BYTES + BLOOM_BYTES + VP_SECRET_BYTES
+MAX_NEIGHBOR_VPS = 250        #: neighbour cap against poisoning (footnote 10)
+
+# --- Guard VPs (Sections 5.1.2, 6.2.2) -----------------------------------
+GUARD_ALPHA = 0.1             #: fraction of neighbours covered by guard VPs
+
+# --- Verification (Section 5.2.2) ----------------------------------------
+TRUSTRANK_DAMPING = 0.8       #: damping factor delta, empirically set (Algorithm 1)
+TRUSTRANK_TOL = 1e-10         #: convergence tolerance for the power iteration
+TRUSTRANK_MAX_ITER = 1000     #: iteration cap for the power iteration
+
+# --- Hashes and identifiers ----------------------------------------------
+HASH_BYTES = 16               #: truncated SHA-256 digests used in VDs (Section 6.1)
+VP_ID_BYTES = 16              #: R_u = H(Q_u), 16 bytes (Section 6.1)
+
+# --- Vision (Section 6.2.1) ----------------------------------------------
+FRAME_WIDTH = 640
+FRAME_HEIGHT = 480

@@ -1,0 +1,67 @@
+"""The paper's primary contribution: view profiles, viewmaps, verification.
+
+Layer map (bottom to top):
+
+* :mod:`repro.core.viewdigest` — per-second VDs, 72-byte wire format,
+  cascaded hashing (Section 5.1.1).
+* :mod:`repro.core.neighbors` — receiver-side VD validation and the
+  first/last-VD-per-neighbour table.
+* :mod:`repro.core.viewprofile` — 1-minute VPs: 60 VDs + neighbour Bloom
+  filter; mutual-linkage queries.
+* :mod:`repro.core.guard` — guard VPs for path obfuscation (Section 5.1.2).
+* :mod:`repro.core.vehicle` — the on-board agent gluing recording, VD
+  exchange, VP finalization and guard creation together.
+* :mod:`repro.core.viewmap` — viewmap construction from a VP database
+  (Section 5.2.1).
+* :mod:`repro.core.verification` — TrustRank scoring and Algorithm 1
+  (Section 5.2.2), plus the Lemma 1/2 bounds of Section 6.3.1.
+* :mod:`repro.core.solicitation` — anonymous video solicitation and
+  cascaded-hash video validation (Section 5.2.3).
+* :mod:`repro.core.rewarding` — untraceable rewards (Section 5.3).
+* :mod:`repro.core.system` — the public-service facade tying it together.
+"""
+
+from repro.core.viewdigest import ViewDigest, VDGenerator
+from repro.core.neighbors import NeighborTable, NeighborRecord
+from repro.core.viewprofile import ViewProfile, build_view_profile
+from repro.core.guard import GuardVPFactory
+from repro.core.vehicle import VehicleAgent, RecordedVideo
+from repro.core.viewmap import ViewMapGraph, build_viewmap, mutual_linkage
+from repro.core.verification import (
+    trustrank,
+    verify_viewmap,
+    VerificationResult,
+    lemma1_bound,
+    lemma2_bound,
+)
+from repro.core.database import VPDatabase
+from repro.core.solicitation import SolicitationBoard, validate_video_upload
+from repro.core.rewarding import RewardService, RewardGrant
+from repro.core.system import ViewMapSystem, Investigation
+
+__all__ = [
+    "ViewDigest",
+    "VDGenerator",
+    "NeighborTable",
+    "NeighborRecord",
+    "ViewProfile",
+    "build_view_profile",
+    "GuardVPFactory",
+    "VehicleAgent",
+    "RecordedVideo",
+    "ViewMapGraph",
+    "build_viewmap",
+    "mutual_linkage",
+    "trustrank",
+    "verify_viewmap",
+    "VerificationResult",
+    "lemma1_bound",
+    "lemma2_bound",
+    "VPDatabase",
+    "SolicitationBoard",
+    "validate_video_upload",
+    "RewardService",
+    "RewardGrant",
+    "ViewMapSystem",
+    "Investigation",
+]

@@ -1,0 +1,154 @@
+"""Guard VPs: decoy profiles that obfuscate trajectories (Section 5.1.2).
+
+At the end of each recording minute a vehicle picks ceil(alpha * m) of its
+m neighbours and fabricates, for each, a guard VP whose trajectory starts
+at that neighbour's minute-start position (L_x1, logged in its VDs) and
+ends at the vehicle's own final position, following a plausible driving
+route.  Guard VDs are variably spaced along the route and carry random
+hash fields; guard and actual VPs insert each other's VDs into their
+Bloom filters so guards join viewmaps like any legitimate VP.
+
+From the system's perspective guard and actual VPs are indistinguishable;
+vehicles delete guards from local storage after upload, so a solicited
+guard VP can never produce a video.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.constants import GUARD_ALPHA, HASH_BYTES, VIDEO_UNIT_SECONDS
+from repro.core.neighbors import NeighborRecord
+from repro.core.viewdigest import ViewDigest, make_secret, vp_id_from_secret
+from repro.core.viewprofile import ViewProfile
+from repro.crypto.bloom import BloomFilter
+from repro.geo.geometry import Point
+from repro.geo.routing import route_polyline
+from repro.util.encoding import f32round
+from repro.util.rng import make_rng
+
+#: A routing callable: (start, end) -> polyline of Points along roads.
+RouteFn = Callable[[Point, Point], list[Point]]
+
+
+def straight_route(start: Point, end: Point) -> list[Point]:
+    """Fallback route when no road network is available: a straight line."""
+    return [start, end]
+
+
+def _variable_fractions(n: int, rng: random.Random, margin: float = 0.5) -> list[float]:
+    """Monotone arc-length fractions with variable spacing.
+
+    Weights are drawn uniformly from [1-margin, 1+margin] so consecutive
+    VDs are "variably spaced (within the predefined margin)" as the paper
+    requires — perfectly even spacing would fingerprint guards.
+    """
+    weights = [rng.uniform(1.0 - margin, 1.0 + margin) for _ in range(n)]
+    total = sum(weights)
+    acc = 0.0
+    fractions = []
+    for w in weights:
+        acc += w
+        fractions.append(acc / total)
+    return fractions
+
+
+@dataclass
+class GuardVPFactory:
+    """Creates guard VPs for an actual VP and its neighbour records."""
+
+    route_fn: RouteFn = straight_route
+    alpha: float = GUARD_ALPHA
+    bytes_per_second: int = 870_000   #: plausible dashcam bitrate (~50 MB/min)
+    rng: random.Random = field(default_factory=random.Random)
+
+    @classmethod
+    def with_seed(cls, seed: int, **kwargs) -> "GuardVPFactory":
+        """Construct with a deterministic random stream."""
+        return cls(rng=make_rng(seed), **kwargs)
+
+    def pick_count(self, n_neighbors: int) -> int:
+        """How many guards to create: ceil(alpha * m), 0 when no neighbours."""
+        if n_neighbors <= 0:
+            return 0
+        return math.ceil(self.alpha * n_neighbors)
+
+    def create_guards(
+        self,
+        actual_vp: ViewProfile,
+        neighbor_records: list[NeighborRecord],
+    ) -> list[ViewProfile]:
+        """Produce guard VPs and cross-link them with the actual VP.
+
+        Mutates ``actual_vp.bloom`` to insert the guards' first/last VDs,
+        mirroring "A makes neighborship between guard and actual VPs by
+        inserting their VDs into each other's Bloom filter bit-arrays".
+        """
+        m = len(neighbor_records)
+        count = self.pick_count(m)
+        if count == 0:
+            return []
+        chosen = self.rng.sample(neighbor_records, min(count, m))
+        guards = []
+        for record in chosen:
+            guard = self._build_guard(actual_vp, Point(*record.initial_location))
+            guards.append(guard)
+            # two-way neighbourship between guard and actual VP
+            actual_vp.bloom.add(guard.digests[0].bloom_key())
+            actual_vp.bloom.add(guard.digests[-1].bloom_key())
+        return guards
+
+    def _build_guard(self, actual_vp: ViewProfile, start: Point) -> ViewProfile:
+        """Fabricate one guard VP from ``start`` to the actual VP's end."""
+        end = actual_vp.end_point
+        polyline = self.route_fn(start, end)
+        n_samples = len(actual_vp.digests)
+        fractions = _variable_fractions(n_samples, self.rng)
+        points = route_polyline(polyline, fractions)
+        # anchor the first VD at the neighbour's logged initial location
+        points[0] = start
+
+        secret = make_secret(self.rng)
+        vp_id = vp_id_from_secret(secret)
+        initial = (f32round(start.x), f32round(start.y))
+        digests = []
+        file_size = 0
+        for idx, (vd_ref, p) in enumerate(zip(actual_vp.digests, points), start=1):
+            file_size += int(
+                self.bytes_per_second * self.rng.uniform(0.9, 1.1)
+            )
+            digests.append(
+                ViewDigest(
+                    second_index=idx,
+                    t=vd_ref.t,
+                    location=(f32round(p.x), f32round(p.y)),
+                    file_size=file_size,
+                    initial_location=initial,
+                    vp_id=vp_id,
+                    chain_hash=self.rng.getrandbits(HASH_BYTES * 8).to_bytes(
+                        HASH_BYTES, "big"
+                    ),
+                )
+            )
+        bloom = BloomFilter()
+        bloom.add(actual_vp.digests[0].bloom_key())
+        bloom.add(actual_vp.digests[-1].bloom_key())
+        return ViewProfile(digests=digests, bloom=bloom)
+
+
+def guard_coverage_probability(alpha: float, m: int, t_minutes: int) -> float:
+    """P_t from Section 6.2.2: chance some vehicle is never covered by time t.
+
+    P_t = [1 - {1 - (1-alpha)^m}^m]^t.  The paper picks alpha=0.1 because it
+    pushes P_t below 0.01 within 5 minutes of driving.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must be in (0, 1]")
+    if m <= 0:
+        return 1.0
+    uncovered_by_one = (1.0 - alpha) ** m
+    covered_by_any = (1.0 - uncovered_by_one) ** m
+    return (1.0 - covered_by_any) ** t_minutes

@@ -1,0 +1,85 @@
+"""Receiver-side neighbour bookkeeping during one recording minute.
+
+Section 5.1.1: a vehicle "temporarily stores at most two valid VDs per
+neighbor: the first and the last received VDs with same R value".  The
+table also enforces the neighbour cap from footnote 10 (250 neighbours)
+that mitigates Bloom-poisoning attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import MAX_NEIGHBOR_VPS
+from repro.core.viewdigest import ViewDigest
+
+
+@dataclass
+class NeighborRecord:
+    """First and last VD heard from one neighbour VP this minute."""
+
+    first: ViewDigest
+    last: ViewDigest
+
+    @property
+    def vp_id(self) -> bytes:
+        return self.first.vp_id
+
+    @property
+    def contact_seconds(self) -> float:
+        """Span between first and last reception (contact interval proxy)."""
+        return self.last.t - self.first.t
+
+    @property
+    def initial_location(self) -> tuple[float, float]:
+        """The neighbour's minute-start position L_x1 (for guard VPs)."""
+        return self.first.initial_location
+
+    def digests(self) -> list[ViewDigest]:
+        """The stored digests (one entry when only a single VD was heard)."""
+        if self.first is self.last:
+            return [self.first]
+        return [self.first, self.last]
+
+
+class NeighborTable:
+    """Accumulates neighbour VDs for the current minute, capped per fn. 10."""
+
+    def __init__(self, max_neighbors: int = MAX_NEIGHBOR_VPS) -> None:
+        self.max_neighbors = max_neighbors
+        self._records: dict[bytes, NeighborRecord] = {}
+        self.rejected_over_cap = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, vp_id: bytes) -> bool:
+        return vp_id in self._records
+
+    def accept(self, vd: ViewDigest) -> bool:
+        """Record a validated neighbour VD; False if the cap rejected it."""
+        record = self._records.get(vd.vp_id)
+        if record is None:
+            if len(self._records) >= self.max_neighbors:
+                self.rejected_over_cap += 1
+                return False
+            self._records[vd.vp_id] = NeighborRecord(first=vd, last=vd)
+            return True
+        if vd.t >= record.last.t:
+            record.last = vd
+        elif vd.t < record.first.t:
+            record.first = vd
+        return True
+
+    def records(self) -> list[NeighborRecord]:
+        """All neighbour records, in insertion order."""
+        return list(self._records.values())
+
+    def get(self, vp_id: bytes) -> NeighborRecord | None:
+        """Record for one neighbour VP id, if heard this minute."""
+        return self._records.get(vp_id)
+
+    def clear(self) -> None:
+        """Reset for the next recording minute."""
+        self._records.clear()
+        self.rejected_over_cap = 0

@@ -1,0 +1,122 @@
+"""Untraceable rewarding (Section 5.3 and Appendix A).
+
+Flow, system side:
+
+1. post R_u marked "request for reward" with an amount ``n``;
+2. the owner proves ownership by revealing Q_u (``R_u = H(Q_u)``);
+3. the owner sends ``n`` blinded message digests; the system signs them
+   without learning their contents and marks R_u as paid;
+4. the owner unblinds; each (message, signature) pair is one unit of
+   virtual cash, verifiable by anyone, linkable by no one.
+
+The user-side helper :func:`claim_reward` performs steps 2-4 against a
+:class:`RewardService` and returns verified cash.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.blind import BlindSigner, blind, make_blinding_secret, unblind
+from repro.crypto.cash import VirtualCash
+from repro.crypto.hashing import digest16
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import CryptoError, ValidationError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class RewardGrant:
+    """A posted reward offer for one VP identifier."""
+
+    vp_id: bytes
+    units: int
+    paid: bool = False
+
+
+@dataclass
+class RewardService:
+    """System-side reward desk: ownership check + blind signing."""
+
+    signer: BlindSigner
+    _grants: dict[bytes, RewardGrant] = field(default_factory=dict)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The key anyone uses to verify issued cash."""
+        return self.signer.public
+
+    def post_reward(self, vp_id: bytes, units: int) -> RewardGrant:
+        """Post 'request for reward' for a reviewed video's identifier."""
+        if units <= 0:
+            raise ValidationError("reward must be at least one unit")
+        if vp_id in self._grants:
+            raise ValidationError("reward already posted for this identifier")
+        grant = RewardGrant(vp_id=vp_id, units=units)
+        self._grants[vp_id] = grant
+        return grant
+
+    def pending_ids(self) -> list[bytes]:
+        """Identifiers with unpaid reward offers (owners poll this)."""
+        return [g.vp_id for g in self._grants.values() if not g.paid]
+
+    def offered_units(self, vp_id: bytes, secret: bytes) -> int:
+        """Step 2: prove ownership with Q_u; returns the unit amount n."""
+        grant = self._grants.get(vp_id)
+        if grant is None:
+            raise ValidationError("no reward posted for this identifier")
+        if grant.paid:
+            raise ValidationError("reward already collected")
+        if digest16(secret) != vp_id:
+            raise CryptoError("secret does not match the VP identifier")
+        return grant.units
+
+    def sign_blinded_batch(
+        self, vp_id: bytes, secret: bytes, blinded: list[int]
+    ) -> list[int]:
+        """Step 3: sign the blinded messages and mark the grant paid.
+
+        The batch size must equal the offered amount so a claimant cannot
+        mint extra units.
+        """
+        units = self.offered_units(vp_id, secret)
+        if len(blinded) != units:
+            raise ValidationError(
+                f"expected {units} blinded messages, got {len(blinded)}"
+            )
+        signatures = [self.signer.sign_blinded(b) for b in blinded]
+        self._grants[vp_id].paid = True
+        return signatures
+
+
+def claim_reward(
+    service: RewardService,
+    vp_id: bytes,
+    secret: bytes,
+    rng: random.Random | int | None = None,
+) -> list[VirtualCash]:
+    """User-side claim: blind, obtain signatures, unblind, verify.
+
+    Returns the minted cash units.  Raises if any unit fails verification
+    (which would indicate a misbehaving system).
+    """
+    rng = make_rng(rng)
+    public = service.public_key
+    units = service.offered_units(vp_id, secret)
+
+    messages = [VirtualCash.random_message(rng) for _ in range(units)]
+    secrets = [make_blinding_secret(public, rng) for _ in range(units)]
+    blinded = [
+        blind(public, public.hash_to_int(m), r) for m, r in zip(messages, secrets)
+    ]
+    signatures_blinded = service.sign_blinded_batch(vp_id, secret, blinded)
+
+    cash = []
+    for message, r, sig_b in zip(messages, secrets, signatures_blinded):
+        signature = unblind(public, sig_b, r)
+        unit = VirtualCash(message=message, signature=signature)
+        if not unit.verify(public):
+            raise CryptoError("system returned an invalid blind signature")
+        cash.append(unit)
+    return cash

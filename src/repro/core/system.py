@@ -1,0 +1,171 @@
+"""The ViewMap public-service facade (Fig. 2 of the paper).
+
+`ViewMapSystem` glues the pieces into the workflows an authority runs:
+
+* **ingestion** — anonymous VP uploads land in the VP database; trusted
+  VPs arrive via the authority path;
+* **investigation** — given an incident (location, minutes), build one
+  viewmap per minute, verify members with TrustRank, and post the
+  legitimate in-site VP identifiers for solicitation;
+* **upload** — validate solicited videos against stored VPs by cascaded
+  hash replay, then queue them for human review;
+* **reward** — post reward offers for reviewed videos and issue
+  untraceable cash via blind signatures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.constants import DSRC_RANGE_M
+from repro.core.database import VPDatabase
+from repro.core.rewarding import RewardService
+from repro.core.solicitation import (
+    SolicitationBoard,
+    validate_video_upload,
+)
+from repro.core.verification import VerificationResult, verify_viewmap
+from repro.core.viewmap import ViewMapGraph, build_viewmap, coverage_area
+from repro.core.viewprofile import ViewProfile
+from repro.crypto.blind import BlindSigner
+from repro.crypto.cash import CashRegistry
+from repro.crypto.rsa import RSAKeyPair
+from repro.errors import ValidationError
+from repro.geo.geometry import Point
+
+
+@dataclass
+class Investigation:
+    """Results of investigating one incident minute."""
+
+    minute: int
+    viewmap: ViewMapGraph
+    verification: VerificationResult
+    solicited: list[bytes]
+
+
+@dataclass
+class ViewMapSystem:
+    """The authority-operated ViewMap service."""
+
+    key_bits: int = 1024
+    seed: int = 0
+    reward_units: int = 5           #: default payout per reviewed video
+    database: VPDatabase = field(default_factory=VPDatabase)
+    solicitations: SolicitationBoard = field(default_factory=SolicitationBoard)
+    rewards: RewardService = field(init=False)
+    registry: CashRegistry = field(init=False)
+    pending_review: dict[bytes, list[bytes]] = field(default_factory=dict)
+    reviewed: set[bytes] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        keypair = RSAKeyPair.generate(self.key_bits, rng=random.Random(self.seed))
+        self.rewards = RewardService(signer=BlindSigner(keypair=keypair))
+        self.registry = CashRegistry(public=keypair.public)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_vp(self, vp: ViewProfile) -> None:
+        """Accept one anonymously uploaded VP (actual or guard alike)."""
+        if vp.trusted:
+            raise ValidationError("anonymous uploads cannot claim trusted status")
+        self.database.insert(vp)
+
+    def ingest_trusted_vp(self, vp: ViewProfile) -> None:
+        """Accept a VP through the authenticated authority path."""
+        self.database.insert_trusted(vp)
+
+    # -- investigation -----------------------------------------------------
+
+    def investigate(
+        self,
+        site: Point,
+        minute: int,
+        site_radius_m: float = 200.0,
+        link_radius_m: float = DSRC_RANGE_M,
+        n_trusted: int = 1,
+        solicit: bool = True,
+    ) -> Investigation:
+        """Build and verify the viewmap of one incident minute.
+
+        Selects the trusted VPs closest to the site, spans the coverage
+        area over site + seeds, constructs the viewmap, runs Algorithm 1,
+        and (optionally) posts the legitimate in-site identifiers.
+        """
+        trusted = self.database.nearest_trusted(minute, site, k=n_trusted)
+        if not trusted:
+            raise ValidationError(f"no trusted VP available for minute {minute}")
+        area = coverage_area(site, trusted)
+        candidates = self.database.by_minute_in_area(minute, area)
+        vmap = build_viewmap(candidates, minute, area=area, radius_m=link_radius_m)
+        verification = verify_viewmap(vmap, site, site_radius_m)
+        solicited = sorted(verification.legitimate)
+        if solicit:
+            for vp_id in solicited:
+                self.solicitations.post(vp_id)
+        return Investigation(
+            minute=minute,
+            viewmap=vmap,
+            verification=verification,
+            solicited=solicited,
+        )
+
+    def investigate_period(
+        self,
+        site: Point,
+        minutes: list[int],
+        site_radius_m: float = 200.0,
+        link_radius_m: float = DSRC_RANGE_M,
+        solicit: bool = True,
+    ) -> list[Investigation]:
+        """Investigate an incident spanning several minutes.
+
+        Section 5.2.1: "the system builds a series of viewmaps each
+        corresponding to a single unit-time (e.g., 1 min) during the
+        incident period".  Minutes without a trusted VP are skipped
+        rather than failing the whole investigation.
+        """
+        investigations = []
+        for minute in minutes:
+            if not self.database.trusted_by_minute(minute):
+                continue
+            investigations.append(
+                self.investigate(
+                    site,
+                    minute,
+                    site_radius_m=site_radius_m,
+                    link_radius_m=link_radius_m,
+                    solicit=solicit,
+                )
+            )
+        return investigations
+
+    # -- video upload ------------------------------------------------------
+
+    def receive_video(self, vp_id: bytes, chunks: list[bytes]) -> bool:
+        """Validate an anonymously uploaded video for a solicited VP.
+
+        Returns True when accepted (queued for human review).  Rejects
+        uploads for identifiers that were never solicited — the board is
+        the only channel that reveals which VPs matter.
+        """
+        if not self.solicitations.is_requested(vp_id):
+            return False
+        vp = self.database.get(vp_id)
+        if vp is None:
+            return False
+        if not validate_video_upload(vp, chunks):
+            return False
+        self.solicitations.mark_received(vp_id)
+        self.pending_review[vp_id] = chunks
+        return True
+
+    def human_review(self, vp_id: bytes, units: int | None = None) -> None:
+        """Simulated investigator sign-off: posts the reward offer."""
+        if vp_id not in self.pending_review:
+            raise ValidationError("no received video awaiting review")
+        self.solicitations.mark_reviewed(vp_id)
+        self.reviewed.add(vp_id)
+        del self.pending_review[vp_id]
+        self.rewards.post_reward(vp_id, units or self.reward_units)

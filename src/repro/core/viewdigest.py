@@ -1,0 +1,196 @@
+"""View digests: the per-second DSRC broadcast unit (Section 5.1.1).
+
+Every second, a recording vehicle broadcasts
+
+    T_ui, L_ui, F_ui, L_u1, R_u, H(T_ui | L_ui | F_ui | H_u(i-1) | u_(i-1..i))
+
+where ``u`` is the video currently being recorded, ``i`` the elapsed
+seconds, ``R_u = H(Q_u)`` the VP identifier and ``H`` the cascaded hash.
+The wire format is 72 bytes (Section 6.1): the paper enumerates 64 bytes
+of fields; we carry the second index ``i`` as the remaining 8 bytes (see
+DESIGN.md "known ambiguities").
+
+Locations are rounded to float32 before hashing *and* packing so a
+receiver can re-derive hash inputs exactly from the wire bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constants import (
+    HASH_BYTES,
+    VD_MESSAGE_BYTES,
+    VIDEO_UNIT_SECONDS,
+    VP_ID_BYTES,
+    VP_SECRET_BYTES,
+)
+from repro.crypto.hashing import CascadedHashChain, digest16
+from repro.errors import ValidationError, WireFormatError
+from repro.geo.geometry import Point
+from repro.util.encoding import (
+    f32round,
+    pack_float,
+    pack_pair_f32,
+    pack_uint,
+    unpack_float,
+    unpack_pair_f32,
+    unpack_uint,
+)
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ViewDigest:
+    """One broadcast view digest (immutable once created)."""
+
+    second_index: int          #: i, 1-based elapsed seconds of video u
+    t: float                   #: T_ui — wall-clock time of this digest
+    location: tuple[float, float]       #: L_ui — position at second i
+    file_size: int             #: F_ui — bytes recorded so far
+    initial_location: tuple[float, float]  #: L_u1 — start of the minute
+    vp_id: bytes               #: R_u — 16-byte VP identifier
+    chain_hash: bytes          #: H_ui — cascaded hash head
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.second_index <= VIDEO_UNIT_SECONDS:
+            raise ValidationError(
+                f"second index must be 1..{VIDEO_UNIT_SECONDS}, got {self.second_index}"
+            )
+        if len(self.vp_id) != VP_ID_BYTES:
+            raise ValidationError(f"vp_id must be {VP_ID_BYTES} bytes")
+        if len(self.chain_hash) != HASH_BYTES:
+            raise ValidationError(f"chain hash must be {HASH_BYTES} bytes")
+
+    @property
+    def point(self) -> Point:
+        """Location as a geometry Point."""
+        return Point(*self.location)
+
+    def pack(self) -> bytes:
+        """Serialize to the 72-byte wire format."""
+        payload = (
+            pack_float(self.t)
+            + pack_pair_f32(*self.location)
+            + pack_uint(self.file_size, 8)
+            + pack_pair_f32(*self.initial_location)
+            + pack_uint(self.second_index, 8)
+            + self.vp_id
+            + self.chain_hash
+        )
+        if len(payload) != VD_MESSAGE_BYTES:
+            raise WireFormatError(
+                f"packed VD is {len(payload)} bytes, expected {VD_MESSAGE_BYTES}"
+            )
+        return payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ViewDigest":
+        """Parse a 72-byte wire message back into a ViewDigest."""
+        if len(data) != VD_MESSAGE_BYTES:
+            raise WireFormatError(
+                f"VD message must be {VD_MESSAGE_BYTES} bytes, got {len(data)}"
+            )
+        t = unpack_float(data[0:8])
+        location = unpack_pair_f32(data[8:16])
+        file_size = unpack_uint(data[16:24])
+        initial_location = unpack_pair_f32(data[24:32])
+        second_index = unpack_uint(data[32:40])
+        vp_id = data[40:56]
+        chain_hash = data[56:72]
+        return cls(
+            second_index=second_index,
+            t=t,
+            location=location,
+            file_size=file_size,
+            initial_location=initial_location,
+            vp_id=vp_id,
+            chain_hash=chain_hash,
+        )
+
+    def bloom_key(self) -> bytes:
+        """The byte string inserted into / queried from neighbour Blooms."""
+        return self.pack()
+
+
+def make_secret(rng: random.Random | int | None = None) -> bytes:
+    """Draw the 8-byte per-video secret Q_u (Section 6.1)."""
+    rng = make_rng(rng)
+    return rng.getrandbits(VP_SECRET_BYTES * 8).to_bytes(VP_SECRET_BYTES, "big")
+
+
+def vp_id_from_secret(secret: bytes) -> bytes:
+    """Derive the public VP identifier R_u = H(Q_u)."""
+    return digest16(secret)
+
+
+class VDGenerator:
+    """Produces the VD stream for one 1-minute video.
+
+    Seeded with ``R_u`` (``H_u0 = R_u``), it absorbs one content chunk per
+    second and emits the matching :class:`ViewDigest`.  The cascaded chain
+    makes each emission O(chunk size) — the property benchmarked in Fig. 8.
+    """
+
+    def __init__(self, secret: bytes) -> None:
+        if len(secret) != VP_SECRET_BYTES:
+            raise ValidationError(f"secret must be {VP_SECRET_BYTES} bytes")
+        self.secret = secret
+        self.vp_id = vp_id_from_secret(secret)
+        self._chain = CascadedHashChain(self.vp_id)
+        self._initial_location: tuple[float, float] | None = None
+        self._file_size = 0
+        self.digests: list[ViewDigest] = []
+
+    @property
+    def seconds_recorded(self) -> int:
+        """How many seconds of video have been absorbed."""
+        return len(self.digests)
+
+    def tick(self, t: float, location: Point | tuple[float, float], chunk: bytes) -> ViewDigest:
+        """Absorb one second of recording and emit its view digest."""
+        if self.seconds_recorded >= VIDEO_UNIT_SECONDS:
+            raise ValidationError("video already complete: 60 digests emitted")
+        loc = location.to_tuple() if isinstance(location, Point) else tuple(location)
+        loc = (f32round(loc[0]), f32round(loc[1]))
+        if self._initial_location is None:
+            self._initial_location = loc
+        self._file_size += len(chunk)
+        chain_hash = self._chain.extend(t, loc, self._file_size, chunk)
+        vd = ViewDigest(
+            second_index=self.seconds_recorded + 1,
+            t=t,
+            location=loc,
+            file_size=self._file_size,
+            initial_location=self._initial_location,
+            vp_id=self.vp_id,
+            chain_hash=chain_hash,
+        )
+        self.digests.append(vd)
+        return vd
+
+    @property
+    def complete(self) -> bool:
+        """True when a full minute (60 digests) has been emitted."""
+        return self.seconds_recorded == VIDEO_UNIT_SECONDS
+
+
+def validate_incoming_vd(
+    vd: ViewDigest,
+    now: float,
+    receiver_position: Point,
+    max_range_m: float,
+    time_slack_s: float = 1.0,
+) -> bool:
+    """Receiver-side acceptance check from Section 5.1.1.
+
+    ``T_xj`` must fall within the current 1-second interval and ``L_xj``
+    inside a DSRC radius of the receiver.  Returns False rather than
+    raising: rejected digests are simply ignored on the road.
+    """
+    if abs(vd.t - now) > time_slack_s:
+        return False
+    if receiver_position.distance_to(vd.point) > max_range_m:
+        return False
+    return True

@@ -1,0 +1,141 @@
+"""View profiles: the anonymized 1-minute video summaries (Section 5.1.1).
+
+A VP is 60 view digests plus a Bloom filter over the first/last VDs of
+every neighbour heard during the minute.  VPs are self-contained: the
+system receives them with no owner identity attached.  Trusted VPs (from
+police cars) carry a flag set by the authority ingestion path, never by
+the uploader.
+
+Total storage per VP is 60*72 + 256 + 8 = 4584 bytes (Section 6.1),
+which :func:`ViewProfile.storage_bytes` reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.constants import BLOOM_BYTES, VD_MESSAGE_BYTES, VIDEO_UNIT_SECONDS, VP_SECRET_BYTES
+from repro.crypto.bloom import BloomFilter
+from repro.core.neighbors import NeighborTable
+from repro.core.viewdigest import ViewDigest
+from repro.errors import ValidationError
+from repro.geo.geometry import Point
+from repro.geo.trajectory import Trajectory
+from repro.util.timeline import minute_of
+
+
+@dataclass
+class ViewProfile:
+    """An anonymized per-minute view profile."""
+
+    digests: list[ViewDigest]
+    bloom: BloomFilter
+    trusted: bool = False
+    _bloom_keys: list[bytes] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.digests:
+            raise ValidationError("a view profile needs at least one digest")
+        ids = {vd.vp_id for vd in self.digests}
+        if len(ids) != 1:
+            raise ValidationError("all digests in a VP must share one R value")
+        for earlier, later in zip(self.digests, self.digests[1:]):
+            if later.second_index <= earlier.second_index:
+                raise ValidationError("VP digests must have increasing second indices")
+        self._bloom_keys = [vd.bloom_key() for vd in self.digests]
+
+    @property
+    def vp_id(self) -> bytes:
+        """R_u — the anonymous identifier this VP is addressed by."""
+        return self.digests[0].vp_id
+
+    @property
+    def vp_id_hex(self) -> str:
+        """Hex rendering of R_u for boards and logs."""
+        return self.vp_id.hex()
+
+    @property
+    def minute(self) -> int:
+        """The minute index this VP covers (from its first digest time)."""
+        return minute_of(self.digests[0].t)
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first digest."""
+        return self.digests[0].t
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last digest."""
+        return self.digests[-1].t
+
+    @property
+    def start_point(self) -> Point:
+        """First claimed position."""
+        return self.digests[0].point
+
+    @property
+    def end_point(self) -> Point:
+        """Last claimed position."""
+        return self.digests[-1].point
+
+    @cached_property
+    def trajectory(self) -> Trajectory:
+        """The claimed time/location trajectory of the VP."""
+        return Trajectory(
+            times=[vd.t for vd in self.digests],
+            points=[vd.point for vd in self.digests],
+        )
+
+    @cached_property
+    def positions_array(self) -> np.ndarray:
+        """(n_digests, 2) array of claimed positions, for bulk geometry."""
+        return np.array([vd.location for vd in self.digests], dtype=np.float64)
+
+    @cached_property
+    def times_array(self) -> np.ndarray:
+        """(n_digests,) array of digest times."""
+        return np.array([vd.t for vd in self.digests], dtype=np.float64)
+
+    def bloom_keys(self) -> list[bytes]:
+        """Wire bytes of this VP's own digests (queried against peers)."""
+        return self._bloom_keys
+
+    def claims_location_near(self, center: Point, radius_m: float) -> bool:
+        """True if any claimed location falls within ``radius_m`` of center."""
+        pos = self.positions_array
+        dx = pos[:, 0] - center.x
+        dy = pos[:, 1] - center.y
+        return bool(np.any(dx * dx + dy * dy <= radius_m * radius_m))
+
+    def may_link_to(self, other: "ViewProfile") -> bool:
+        """One-way Bloom check: is any of ``other``'s VDs in my bloom?"""
+        return any(key in self.bloom for key in other.bloom_keys())
+
+    @staticmethod
+    def storage_bytes(include_secret: bool = True) -> int:
+        """Per-VP storage footprint from Section 6.1 (4584 bytes)."""
+        total = VIDEO_UNIT_SECONDS * VD_MESSAGE_BYTES + BLOOM_BYTES
+        if include_secret:
+            total += VP_SECRET_BYTES
+        return total
+
+
+def build_view_profile(
+    digests: list[ViewDigest],
+    neighbors: NeighborTable,
+    trusted: bool = False,
+) -> ViewProfile:
+    """Compile a VP from own digests and the minute's neighbour table.
+
+    Inserts the first and last VD of every neighbour into the Bloom
+    bit-array N_u, exactly as Section 5.1.1 prescribes.
+    """
+    bloom = BloomFilter(m_bits=BLOOM_BYTES * 8)
+    for record in neighbors.records():
+        for vd in record.digests():
+            bloom.add(vd.bloom_key())
+    return ViewProfile(digests=list(digests), bloom=bloom, trusted=trusted)

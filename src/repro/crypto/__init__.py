@@ -1,0 +1,46 @@
+"""Cryptographic substrate: hashing, Bloom filters, RSA blind signatures.
+
+Everything is implemented from scratch on top of ``hashlib`` and Python
+bignums — no external crypto dependency — because the reproduction
+environment is offline.  The public pieces are:
+
+* :func:`~repro.crypto.hashing.digest16` / :class:`~repro.crypto.hashing.CascadedHashChain`
+  — the 16-byte truncated SHA-256 digests and the constant-time cascaded
+  hash of Section 5.1.1 / Fig. 8.
+* :class:`~repro.crypto.bloom.BloomFilter` — the 2048-bit neighbour-VD
+  summary of Section 6.3.2 / Fig. 14.
+* :class:`~repro.crypto.rsa.RSAKeyPair` and :mod:`repro.crypto.blind` —
+  Chaum blind signatures for untraceable rewarding (Section 5.3, Appendix A).
+* :class:`~repro.crypto.cash.CashRegistry` — double-spend-proof virtual cash.
+"""
+
+from repro.crypto.hashing import (
+    digest16,
+    digest32,
+    CascadedHashChain,
+    NormalHashChain,
+    replay_chain,
+)
+from repro.crypto.bloom import BloomFilter, optimal_hash_count, false_linkage_rate
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.blind import blind, unblind, BlindSigner, verify_signature
+from repro.crypto.cash import VirtualCash, CashRegistry
+
+__all__ = [
+    "digest16",
+    "digest32",
+    "CascadedHashChain",
+    "NormalHashChain",
+    "replay_chain",
+    "BloomFilter",
+    "optimal_hash_count",
+    "false_linkage_rate",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "blind",
+    "unblind",
+    "BlindSigner",
+    "verify_signature",
+    "VirtualCash",
+    "CashRegistry",
+]

@@ -1,0 +1,78 @@
+"""Chaum blind signatures (Section 5.3 and Appendix A of the paper).
+
+The rewarding flow:
+
+1. user A proves ownership of video ``u`` by revealing secret ``Q_u``
+   (``R_u = H(Q_u)``),
+2. A generates ``n`` random messages ``m^i_u`` with blinding secrets
+   ``r^i_u`` and sends blinded values ``B(H(m^i_u), r^i_u)``,
+3. the system signs the blinded values without seeing their contents,
+4. A unblinds; each (signature, message) pair is one unit of virtual cash.
+
+Blinding: ``B(x, r) = x * r^e mod n``.  Unblinding multiplies by ``r^-1``;
+correctness follows from ``(x r^e)^d = x^d r (mod n)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import CryptoError
+from repro.util.rng import make_rng
+
+
+def make_blinding_secret(public: RSAPublicKey, rng: random.Random | int | None = None) -> int:
+    """Pick a blinding secret r uniformly from Z_n^* (invertible mod n)."""
+    rng = make_rng(rng)
+    while True:
+        r = rng.randrange(2, public.n - 1)
+        if math.gcd(r, public.n) == 1:
+            return r
+
+
+def blind(public: RSAPublicKey, message_int: int, r: int) -> int:
+    """Blind a message integer: ``B(x, r) = x * r^e mod n``."""
+    if not 0 <= message_int < public.n:
+        raise CryptoError("message integer out of range for modulus")
+    return (message_int * pow(r, public.e, public.n)) % public.n
+
+
+def unblind(public: RSAPublicKey, blinded_signature: int, r: int) -> int:
+    """Strip the blinding factor from a signature on a blinded message."""
+    try:
+        r_inv = pow(r, -1, public.n)
+    except ValueError as exc:
+        raise CryptoError("blinding secret is not invertible mod n") from exc
+    return (blinded_signature * r_inv) % public.n
+
+
+def verify_signature(public: RSAPublicKey, message: bytes, signature: int) -> bool:
+    """Verify an (unblinded) signature over ``H(message)``."""
+    return public.verify_raw(public.hash_to_int(message), signature)
+
+
+@dataclass
+class BlindSigner:
+    """The system-side signer: signs blinded integers it cannot read.
+
+    It keeps a count of issued signatures so audits can reconcile the
+    amount of cash in circulation without ever linking cash to videos.
+    """
+
+    keypair: RSAKeyPair
+    issued: int = 0
+
+    @property
+    def public(self) -> RSAPublicKey:
+        """The public verification key."""
+        return self.keypair.public
+
+    def sign_blinded(self, blinded_int: int) -> int:
+        """Sign one blinded message; contents are invisible by design."""
+        if not 0 <= blinded_int < self.public.n:
+            raise CryptoError("blinded value out of range for modulus")
+        self.issued += 1
+        return self.keypair.sign_raw(blinded_int)

@@ -1,0 +1,58 @@
+"""Untraceable virtual cash with double-spend detection (Section 5.3).
+
+One unit of cash is an (message, signature) pair where the signature is
+the system's RSA signature over ``H(message)``, obtained blindly.  Anyone
+can verify authenticity from the system's public key; the registry tracks
+spent messages so a unit cannot be redeemed twice.  Nothing in a unit
+refers to the video, the VP, or the user it rewarded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.blind import verify_signature
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import CryptoError, DoubleSpendError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class VirtualCash:
+    """One unit of virtual cash: a random message and its unblinded signature."""
+
+    message: bytes
+    signature: int
+
+    @classmethod
+    def random_message(cls, rng: random.Random | int | None = None, size: int = 32) -> bytes:
+        """Generate the random message ``m^i_u`` a unit will be minted over."""
+        rng = make_rng(rng)
+        return rng.getrandbits(size * 8).to_bytes(size, "big")
+
+    def verify(self, public: RSAPublicKey) -> bool:
+        """Check the system's signature (authenticity, not freshness)."""
+        return verify_signature(public, self.message, self.signature)
+
+
+@dataclass
+class CashRegistry:
+    """Acceptance-side ledger: verifies signatures and rejects double spends."""
+
+    public: RSAPublicKey
+    _spent: set[bytes] = field(default_factory=set)
+    redeemed: int = 0
+
+    def is_spent(self, unit: VirtualCash) -> bool:
+        """True if this unit's message was already redeemed."""
+        return unit.message in self._spent
+
+    def redeem(self, unit: VirtualCash) -> None:
+        """Accept a unit for payment; raise on forgery or double spend."""
+        if not unit.verify(self.public):
+            raise CryptoError("virtual cash signature does not verify")
+        if unit.message in self._spent:
+            raise DoubleSpendError("virtual cash unit already spent")
+        self._spent.add(unit.message)
+        self.redeemed += 1

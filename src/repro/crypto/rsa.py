@@ -1,0 +1,81 @@
+"""Minimal RSA over Python bignums, used as the base for blind signatures.
+
+Raw ("textbook") RSA is exactly what Chaum's blinding construction needs:
+blinding relies on the multiplicative homomorphism sig(m1*m2) =
+sig(m1)*sig(m2), which padding schemes intentionally destroy.  The library
+therefore signs *digests* (never attacker-controlled raw messages) and is
+used only inside the rewarding protocol, where message space is random.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest32
+from repro.crypto.primes import generate_prime
+from repro.errors import CryptoError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """Public half of an RSA key: modulus ``n`` and exponent ``e``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    def verify_raw(self, message_int: int, signature: int) -> bool:
+        """Check ``signature^e == message_int (mod n)``."""
+        if not 0 <= signature < self.n:
+            return False
+        return pow(signature, self.e, self.n) == message_int % self.n
+
+    def hash_to_int(self, message: bytes) -> int:
+        """Map a message into Z_n via SHA-256 (full-domain-hash style)."""
+        return int.from_bytes(digest32(message), "big") % self.n
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair; generate with :meth:`generate`."""
+
+    public: RSAPublicKey
+    d: int
+    p: int
+    q: int
+
+    @classmethod
+    def generate(
+        cls, bits: int = 1024, rng: random.Random | int | None = None, e: int = 65537
+    ) -> "RSAKeyPair":
+        """Generate a fresh key pair with an approximately ``bits`` modulus."""
+        rng = make_rng(rng)
+        half = bits // 2
+        while True:
+            p = generate_prime(half, rng)
+            q = generate_prime(bits - half, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if math.gcd(e, phi) != 1:
+                continue
+            d = pow(e, -1, phi)
+            return cls(public=RSAPublicKey(n=p * q, e=e), d=d, p=p, q=q)
+
+    def sign_raw(self, message_int: int) -> int:
+        """Produce a textbook signature ``message_int^d mod n``."""
+        n = self.public.n
+        if not 0 <= message_int < n:
+            raise CryptoError("message integer out of range for modulus")
+        return pow(message_int, self.d, n)
+
+    def sign_digest(self, message: bytes) -> int:
+        """Hash a message into Z_n and sign the digest."""
+        return self.sign_raw(self.public.hash_to_int(message))

@@ -1,0 +1,35 @@
+"""Geometry and road-network substrate.
+
+Provides the pieces the paper outsourced to OpenStreetMap, SUMO's road
+graph, and the Google Directions API: planar geometry, grid road networks,
+shortest-path driving routes, timestamped trajectories, and obstacle maps
+with line-of-sight queries.
+"""
+
+from repro.geo.geometry import (
+    Point,
+    Rect,
+    distance,
+    segment_intersects_rect,
+    segments_intersect,
+)
+from repro.geo.roadnet import RoadNetwork, grid_city
+from repro.geo.routing import Router, route_polyline
+from repro.geo.trajectory import Trajectory
+from repro.geo.obstacles import Building, ObstacleMap, corridor_los
+
+__all__ = [
+    "Point",
+    "Rect",
+    "distance",
+    "segment_intersects_rect",
+    "segments_intersect",
+    "RoadNetwork",
+    "grid_city",
+    "Router",
+    "route_polyline",
+    "Trajectory",
+    "Building",
+    "ObstacleMap",
+    "corridor_los",
+]

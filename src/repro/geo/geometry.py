@@ -1,0 +1,134 @@
+"""Planar geometry primitives: points, rectangles, segment intersection.
+
+Coordinates are metres in a local Cartesian frame (the paper's areas are
+4x4 km and 8x8 km, small enough that a flat-earth frame is exact for our
+purposes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in metres."""
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def to_tuple(self) -> tuple[float, float]:
+        """Return (x, y) as a plain tuple."""
+        return (self.x, self.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point offset by (dx, dy)."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def distance(a: Point | tuple[float, float], b: Point | tuple[float, float]) -> float:
+    """Euclidean distance accepting Points or bare tuples."""
+    ax, ay = a if isinstance(a, tuple) else (a.x, a.y)
+    bx, by = b if isinstance(b, tuple) else (b.x, b.y)
+    return math.hypot(ax - bx, ay - by)
+
+
+def _orient(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> float:
+    """Signed area of triangle abc (positive = counter-clockwise)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def segments_intersect(
+    p1: Point, p2: Point, q1: Point, q2: Point, eps: float = 1e-12
+) -> bool:
+    """True if closed segments p1p2 and q1q2 intersect (incl. touching)."""
+    d1 = _orient(q1.x, q1.y, q2.x, q2.y, p1.x, p1.y)
+    d2 = _orient(q1.x, q1.y, q2.x, q2.y, p2.x, p2.y)
+    d3 = _orient(p1.x, p1.y, p2.x, p2.y, q1.x, q1.y)
+    d4 = _orient(p1.x, p1.y, p2.x, p2.y, q2.x, q2.y)
+    if ((d1 > eps and d2 < -eps) or (d1 < -eps and d2 > eps)) and (
+        (d3 > eps and d4 < -eps) or (d3 < -eps and d4 > eps)
+    ):
+        return True
+
+    def on_segment(ax, ay, bx, by, px, py):
+        return (
+            min(ax, bx) - eps <= px <= max(ax, bx) + eps
+            and min(ay, by) - eps <= py <= max(ay, by) + eps
+        )
+
+    if abs(d1) <= eps and on_segment(q1.x, q1.y, q2.x, q2.y, p1.x, p1.y):
+        return True
+    if abs(d2) <= eps and on_segment(q1.x, q1.y, q2.x, q2.y, p2.x, p2.y):
+        return True
+    if abs(d3) <= eps and on_segment(p1.x, p1.y, p2.x, p2.y, q1.x, q1.y):
+        return True
+    if abs(d4) <= eps and on_segment(p1.x, p1.y, p2.x, p2.y, q2.x, q2.y):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (building footprint, region of interest)."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError("rectangle min corner must not exceed max corner")
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y_max - self.y_min
+
+    @property
+    def center(self) -> Point:
+        """Geometric centre point."""
+        return Point((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+    def contains(self, p: Point, eps: float = 0.0) -> bool:
+        """True if the point lies inside (with optional inflation eps)."""
+        return (
+            self.x_min - eps <= p.x <= self.x_max + eps
+            and self.y_min - eps <= p.y <= self.y_max + eps
+        )
+
+    def corners(self) -> list[Point]:
+        """The four corner points, counter-clockwise from min corner."""
+        return [
+            Point(self.x_min, self.y_min),
+            Point(self.x_max, self.y_min),
+            Point(self.x_max, self.y_max),
+            Point(self.x_min, self.y_max),
+        ]
+
+    def edges(self) -> list[tuple[Point, Point]]:
+        """The four edges as point pairs."""
+        c = self.corners()
+        return [(c[i], c[(i + 1) % 4]) for i in range(4)]
+
+
+def segment_intersects_rect(p1: Point, p2: Point, rect: Rect) -> bool:
+    """True if the segment p1p2 passes through (or touches) the rectangle."""
+    if rect.contains(p1) or rect.contains(p2):
+        return True
+    return any(segments_intersect(p1, p2, a, b) for a, b in rect.edges())

@@ -1,0 +1,110 @@
+"""Obstacle maps and line-of-sight queries.
+
+The paper's field study (Section 7) finds that LOS condition — buildings,
+overpasses, tunnels, heavy vehicle traffic — dominates VP linkage, not
+distance or RSSI.  Two LOS models are provided:
+
+* :class:`ObstacleMap` — explicit rectangular obstacles with per-type
+  attenuation, used for the two-vehicle field-trial scenarios (Figs 15/17,
+  Table 2).  LOS is a segment-vs-rectangle test.
+* :func:`corridor_los` — a fast Manhattan-city model for the 1000-vehicle
+  simulations: two vehicles see each other iff they share a street
+  corridor (same row or column of the grid, within street half-width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.geo.geometry import Point, Rect, segment_intersects_rect
+
+
+class ObstacleKind(Enum):
+    """Categories of blockage seen in the paper's Table 2 scenarios."""
+
+    BUILDING = "building"        # reinforced structure: effectively opaque
+    OVERPASS = "overpass"        # concrete deck between road levels
+    TUNNEL = "tunnel"            # enclosing structure
+    VEHICLE = "vehicle"          # truck/bus blockage: partial attenuation
+    FOLIAGE = "foliage"          # light attenuation
+
+    @property
+    def attenuation_db(self) -> float:
+        """Nominal penetration loss applied per obstruction crossed."""
+        return {
+            ObstacleKind.BUILDING: 45.0,
+            ObstacleKind.OVERPASS: 40.0,
+            ObstacleKind.TUNNEL: 60.0,
+            ObstacleKind.VEHICLE: 12.0,
+            ObstacleKind.FOLIAGE: 6.0,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Building:
+    """A rectangular obstacle with a blockage category."""
+
+    footprint: Rect
+    kind: ObstacleKind = ObstacleKind.BUILDING
+
+    def blocks(self, a: Point, b: Point) -> bool:
+        """True if the sight line a-b crosses this obstacle."""
+        return segment_intersects_rect(a, b, self.footprint)
+
+
+@dataclass
+class ObstacleMap:
+    """A collection of obstacles supporting LOS and attenuation queries."""
+
+    obstacles: list[Building] = field(default_factory=list)
+
+    def add(self, obstacle: Building) -> None:
+        """Add one obstacle."""
+        self.obstacles.append(obstacle)
+
+    def blockers(self, a: Point, b: Point) -> list[Building]:
+        """All obstacles crossing the sight line a-b."""
+        return [o for o in self.obstacles if o.blocks(a, b)]
+
+    def is_los(self, a: Point, b: Point) -> bool:
+        """True if nothing obstructs the sight line a-b."""
+        return not any(o.blocks(a, b) for o in self.obstacles)
+
+    def attenuation_db(self, a: Point, b: Point) -> float:
+        """Total penetration loss along a-b (sum over crossed obstacles)."""
+        return sum(o.kind.attenuation_db for o in self.blockers(a, b))
+
+
+def corridor_los(
+    a: Point,
+    b: Point,
+    block_m: float,
+    street_halfwidth_m: float = 15.0,
+) -> bool:
+    """Manhattan-grid LOS: true iff both points share a street corridor.
+
+    Streets run along lines ``x = k * block_m`` and ``y = k * block_m``.
+    Two vehicles are line-of-sight when both lie within
+    ``street_halfwidth_m`` of the *same* street line — i.e. they look down
+    the same canyon.  Vehicles closer than one street width always see
+    each other (crossing an intersection).
+    """
+    if a.distance_to(b) <= 2 * street_halfwidth_m:
+        return True
+
+    def street_index(coord: float) -> int | None:
+        nearest = round(coord / block_m)
+        if abs(coord - nearest * block_m) <= street_halfwidth_m:
+            return nearest
+        return None
+
+    # Shared vertical street (same x-corridor) => LOS along the canyon.
+    ax_street, bx_street = street_index(a.x), street_index(b.x)
+    if ax_street is not None and ax_street == bx_street:
+        return True
+    # Shared horizontal street (same y-corridor).
+    ay_street, by_street = street_index(a.y), street_index(b.y)
+    if ay_street is not None and ay_street == by_street:
+        return True
+    return False

@@ -1,0 +1,113 @@
+"""Road networks as graphs of intersections connected by straight streets.
+
+This replaces the paper's OpenStreetMap extract of Seoul.  A Manhattan
+grid is the workhorse: streets every ``block`` metres over an ``width x
+height`` area.  The grid exposes nearest-node queries and is consumed by
+the router (guard-VP trajectories), the traffic simulator (vehicle
+movement), and the corridor line-of-sight model (urban radio blockage).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import SimulationError
+from repro.geo.geometry import Point
+from repro.util.rng import make_rng
+
+NodeId = tuple[int, int]
+
+
+@dataclass
+class RoadNetwork:
+    """A road graph whose nodes carry planar positions.
+
+    ``graph`` is an undirected networkx graph; every node has a ``pos``
+    attribute (a :class:`~repro.geo.geometry.Point`) and every edge a
+    ``length`` attribute in metres.
+    """
+
+    graph: nx.Graph
+    width: float
+    height: float
+    _nodes_sorted: list[NodeId] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise SimulationError("road network must contain at least one node")
+        self._nodes_sorted = sorted(self.graph.nodes)
+
+    def position(self, node: NodeId) -> Point:
+        """Return the planar position of a node."""
+        return self.graph.nodes[node]["pos"]
+
+    def edge_length(self, a: NodeId, b: NodeId) -> float:
+        """Return the length of the edge between two adjacent nodes."""
+        return self.graph.edges[a, b]["length"]
+
+    def neighbors(self, node: NodeId) -> list[NodeId]:
+        """Adjacent intersections of a node."""
+        return list(self.graph.neighbors(node))
+
+    def nearest_node(self, p: Point) -> NodeId:
+        """Return the node closest to an arbitrary point."""
+        return min(
+            self._nodes_sorted,
+            key=lambda n: self.position(n).distance_to(p),
+        )
+
+    def random_node(self, rng: random.Random | int | None = None) -> NodeId:
+        """Pick a uniformly random intersection."""
+        rng = make_rng(rng)
+        return self._nodes_sorted[rng.randrange(len(self._nodes_sorted))]
+
+    def random_point_on_edge(self, rng: random.Random | int | None = None) -> Point:
+        """Pick a random point uniformly along a random street."""
+        rng = make_rng(rng)
+        edges = list(self.graph.edges)
+        a, b = edges[rng.randrange(len(edges))]
+        frac = rng.random()
+        pa, pb = self.position(a), self.position(b)
+        return Point(pa.x + frac * (pb.x - pa.x), pa.y + frac * (pb.y - pa.y))
+
+    @property
+    def node_count(self) -> int:
+        """Number of intersections."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        """Number of street segments."""
+        return self.graph.number_of_edges()
+
+
+def grid_city(
+    width_m: float,
+    height_m: float,
+    block_m: float = 200.0,
+) -> RoadNetwork:
+    """Build a Manhattan street grid covering ``width_m x height_m`` metres.
+
+    Intersections sit every ``block_m`` metres; streets are axis-aligned.
+    Node ids are integer (col, row) pairs so tests can address corners
+    deterministically.
+    """
+    if width_m <= 0 or height_m <= 0 or block_m <= 0:
+        raise SimulationError("grid dimensions must be positive")
+    cols = max(2, int(math.floor(width_m / block_m)) + 1)
+    rows = max(2, int(math.floor(height_m / block_m)) + 1)
+    graph = nx.Graph()
+    for c in range(cols):
+        for r in range(rows):
+            graph.add_node((c, r), pos=Point(c * block_m, r * block_m))
+    for c in range(cols):
+        for r in range(rows):
+            if c + 1 < cols:
+                graph.add_edge((c, r), (c + 1, r), length=block_m)
+            if r + 1 < rows:
+                graph.add_edge((c, r), (c, r + 1), length=block_m)
+    return RoadNetwork(graph=graph, width=(cols - 1) * block_m, height=(rows - 1) * block_m)

@@ -1,0 +1,106 @@
+"""Timestamped trajectories: per-second positions of one vehicle-minute.
+
+A VP's "time/location trajectory" is a sequence of (t, position) samples,
+one per second.  Trajectories support interpolation, resampling and
+summary queries used by VP construction, guard generation, viewmap
+membership tests and the tracking adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.geo.geometry import Point
+
+
+@dataclass
+class Trajectory:
+    """An ordered sequence of (time, Point) samples with strictly rising time."""
+
+    times: list[float] = field(default_factory=list)
+    points: list[Point] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.points):
+            raise ValidationError("times and points must have equal length")
+        for earlier, later in zip(self.times, self.times[1:]):
+            if later <= earlier:
+                raise ValidationError("trajectory times must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append(self, t: float, p: Point) -> None:
+        """Append a sample; time must advance."""
+        if self.times and t <= self.times[-1]:
+            raise ValidationError("trajectory times must be strictly increasing")
+        self.times.append(t)
+        self.points.append(p)
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first sample."""
+        if not self.times:
+            raise ValidationError("empty trajectory has no start time")
+        return self.times[0]
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last sample."""
+        if not self.times:
+            raise ValidationError("empty trajectory has no end time")
+        return self.times[-1]
+
+    @property
+    def start_point(self) -> Point:
+        """Position of the first sample."""
+        if not self.points:
+            raise ValidationError("empty trajectory has no start point")
+        return self.points[0]
+
+    @property
+    def end_point(self) -> Point:
+        """Position of the last sample."""
+        if not self.points:
+            raise ValidationError("empty trajectory has no end point")
+        return self.points[-1]
+
+    def at(self, t: float) -> Point:
+        """Linearly interpolated position at time ``t`` (clamped to range)."""
+        if not self.times:
+            raise ValidationError("cannot interpolate an empty trajectory")
+        if t <= self.times[0]:
+            return self.points[0]
+        if t >= self.times[-1]:
+            return self.points[-1]
+        # binary search for the surrounding samples
+        lo, hi = 0, len(self.times) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.times[mid] <= t:
+                lo = mid
+            else:
+                hi = mid
+        t0, t1 = self.times[lo], self.times[hi]
+        p0, p1 = self.points[lo], self.points[hi]
+        frac = (t - t0) / (t1 - t0)
+        return Point(p0.x + frac * (p1.x - p0.x), p0.y + frac * (p1.y - p0.y))
+
+    def length(self) -> float:
+        """Total path length in metres."""
+        return sum(
+            self.points[i].distance_to(self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        )
+
+    def resample(self, times: list[float]) -> "Trajectory":
+        """Return a new trajectory sampled at the given times."""
+        return Trajectory(times=list(times), points=[self.at(t) for t in times])
+
+    def slice(self, t_from: float, t_to: float) -> "Trajectory":
+        """Samples with t_from <= t <= t_to (no interpolation at the cut)."""
+        pairs = [
+            (t, p) for t, p in zip(self.times, self.points) if t_from <= t <= t_to
+        ]
+        return Trajectory(times=[t for t, _ in pairs], points=[p for _, p in pairs])

@@ -1,0 +1,27 @@
+"""Vehicle mobility substrate: the SUMO stand-in.
+
+Generates per-second vehicle traces on a road network.  Vehicles follow
+random trips (route to a random destination, then pick a new one) at a
+configured cruise speed with small per-vehicle jitter.  The output is a
+:class:`~repro.mobility.traces.TraceSet` that the ViewMap simulation and
+the privacy experiments consume.
+"""
+
+from repro.mobility.traffic import TrafficConfig, TrafficSimulator, simulate_traffic
+from repro.mobility.traces import Trace, TraceSet
+from repro.mobility.scenarios import (
+    city_scenario,
+    highway_scenario,
+    two_vehicle_passes,
+)
+
+__all__ = [
+    "TrafficConfig",
+    "TrafficSimulator",
+    "simulate_traffic",
+    "Trace",
+    "TraceSet",
+    "city_scenario",
+    "highway_scenario",
+    "two_vehicle_passes",
+]

@@ -1,0 +1,125 @@
+"""Canned mobility scenarios used across experiments.
+
+* :func:`city_scenario` — Manhattan grid + random-trip fleet, the stand-in
+  for the paper's Seoul OpenStreetMap/SUMO setup (4x4 km privacy runs,
+  8x8 km large-scale runs).
+* :func:`highway_scenario` — straight multi-lane road with a platoon
+  stream, used for the Fig. 17 speed/traffic-volume study.
+* :func:`two_vehicle_passes` — two vehicles holding a fixed separation,
+  the field-trial geometry behind Figs 15/20 and Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geometry import Point
+from repro.geo.roadnet import RoadNetwork, grid_city
+from repro.geo.trajectory import Trajectory
+from repro.mobility.traces import Trace, TraceSet
+from repro.mobility.traffic import KMH_TO_MS, TrafficConfig, simulate_traffic
+from repro.util.rng import derive_seed, make_rng
+
+
+@dataclass
+class CityScenario:
+    """A road network plus the traces simulated on it."""
+
+    network: RoadNetwork
+    traces: TraceSet
+    block_m: float
+
+
+def city_scenario(
+    area_km: float,
+    n_vehicles: int,
+    duration_s: int,
+    speed_kmh: float = 50.0,
+    mixed_speeds_kmh: tuple[float, ...] = (),
+    block_m: float = 200.0,
+    seed: int = 0,
+) -> CityScenario:
+    """Build a grid city of ``area_km x area_km`` and simulate a fleet."""
+    size_m = area_km * 1000.0
+    network = grid_city(size_m, size_m, block_m=block_m)
+    config = TrafficConfig(
+        n_vehicles=n_vehicles,
+        duration_s=duration_s,
+        speed_kmh=speed_kmh,
+        mixed_speeds_kmh=mixed_speeds_kmh,
+        seed=seed,
+    )
+    return CityScenario(
+        network=network, traces=simulate_traffic(network, config), block_m=block_m
+    )
+
+
+def highway_scenario(
+    duration_s: int,
+    speed_kmh: float,
+    n_background: int = 0,
+    lane_gap_m: float = 4.0,
+    length_km: float = 20.0,
+    seed: int = 0,
+) -> TraceSet:
+    """Two instrumented vehicles plus background traffic on a straight road.
+
+    Vehicle 0 leads, vehicle 1 trails with a slowly varying separation that
+    sweeps the 0-400 m measurement range; background vehicles (ids >= 2)
+    occupy adjacent lanes and act as mobile blockers in heavy traffic.
+    """
+    rng = make_rng(seed)
+    speed_ms = speed_kmh * KMH_TO_MS
+    traces = TraceSet(duration_s=duration_s)
+
+    lead = Trajectory()
+    trail = Trajectory()
+    for t in range(duration_s + 1):
+        lead_x = 1000.0 + speed_ms * t
+        # Separation sweeps a triangle wave between 30 and 410 m.
+        cycle = (t % 240) / 240.0
+        sep = 30.0 + 380.0 * (2 * cycle if cycle < 0.5 else 2 * (1 - cycle))
+        lead.append(float(t), Point(lead_x % (length_km * 1000.0), 0.0))
+        trail.append(float(t), Point((lead_x - sep) % (length_km * 1000.0), 0.0))
+    traces.add(Trace(vehicle_id=0, trajectory=lead))
+    traces.add(Trace(vehicle_id=1, trajectory=trail))
+
+    for vid in range(2, 2 + n_background):
+        vrng = make_rng(derive_seed(seed, "bg", vid))
+        lane_y = vrng.choice([-lane_gap_m, lane_gap_m])
+        offset = vrng.uniform(0.0, length_km * 1000.0)
+        v = speed_ms * vrng.uniform(0.85, 1.15)
+        traj = Trajectory()
+        for t in range(duration_s + 1):
+            traj.append(float(t), Point((offset + v * t) % (length_km * 1000.0), lane_y))
+        traces.add(Trace(vehicle_id=vid, trajectory=traj))
+    return traces
+
+
+def two_vehicle_passes(
+    separations_m: list[float],
+    dwell_s: int = 60,
+    speed_kmh: float = 40.0,
+    lateral_gap_m: float = 3.5,
+) -> TraceSet:
+    """Two vehicles driving in parallel, holding each separation for a dwell.
+
+    This mirrors the semi-controlled field measurements: for each target
+    separation the pair cruises for ``dwell_s`` seconds, then jumps to the
+    next separation.  Vehicle 0 leads on lane y=0; vehicle 1 follows on an
+    adjacent lane.
+    """
+    speed_ms = speed_kmh * KMH_TO_MS
+    duration = dwell_s * len(separations_m)
+    traces = TraceSet(duration_s=duration)
+    lead = Trajectory()
+    trail = Trajectory()
+    for t in range(duration + 1):
+        phase = min(t // dwell_s, len(separations_m) - 1)
+        sep = separations_m[phase]
+        x = speed_ms * t
+        lead.append(float(t), Point(x, 0.0))
+        trail.append(float(t), Point(x - sep, lateral_gap_m))
+    traces.add(Trace(vehicle_id=0, trajectory=lead))
+    traces.add(Trace(vehicle_id=1, trajectory=trail))
+    return traces

@@ -1,0 +1,109 @@
+"""Trace containers: per-second positions for each vehicle.
+
+A :class:`Trace` is one vehicle's sampled path; a :class:`TraceSet` holds
+a fleet sampled on a shared clock and offers the bulk queries (position
+matrix per second) that the simulation loop needs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.geo.geometry import Point
+from repro.geo.trajectory import Trajectory
+
+
+@dataclass
+class Trace:
+    """One vehicle's identifier and per-second trajectory."""
+
+    vehicle_id: int
+    trajectory: Trajectory
+
+    def position_at(self, t: float) -> Point:
+        """Interpolated position at time ``t``."""
+        return self.trajectory.at(t)
+
+
+@dataclass
+class TraceSet:
+    """A fleet of traces sampled at integer seconds 0..duration_s."""
+
+    duration_s: int
+    traces: list[Trace] = field(default_factory=list)
+    _matrix: np.ndarray | None = field(init=False, default=None, repr=False)
+
+    def add(self, trace: Trace) -> None:
+        """Add a vehicle trace; invalidates the cached position matrix."""
+        self.traces.append(trace)
+        self._matrix = None
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def vehicle_ids(self) -> list[int]:
+        """Identifiers of all vehicles in the set."""
+        return [tr.vehicle_id for tr in self.traces]
+
+    def position_matrix(self) -> np.ndarray:
+        """Array of shape (n_vehicles, duration_s + 1, 2) of positions.
+
+        Built lazily and cached: this is the hot structure for neighbour
+        discovery (a KD-tree is built on one time-slice per second).
+        """
+        if self._matrix is None:
+            n = len(self.traces)
+            steps = self.duration_s + 1
+            mat = np.empty((n, steps, 2), dtype=np.float64)
+            for i, trace in enumerate(self.traces):
+                traj = trace.trajectory
+                if len(traj) == steps and traj.times[0] == 0:
+                    # fast path: already sampled on the shared clock
+                    mat[i, :, 0] = [p.x for p in traj.points]
+                    mat[i, :, 1] = [p.y for p in traj.points]
+                else:
+                    for t in range(steps):
+                        p = traj.at(float(t))
+                        mat[i, t, 0] = p.x
+                        mat[i, t, 1] = p.y
+            self._matrix = mat
+        return self._matrix
+
+    def positions_at(self, t: int) -> np.ndarray:
+        """(n, 2) array of positions at integer second ``t``."""
+        if not 0 <= t <= self.duration_s:
+            raise SimulationError(f"time {t} outside trace duration {self.duration_s}")
+        return self.position_matrix()[:, t, :]
+
+    def save(self, path: str | Path) -> None:
+        """Persist to JSON (small fleets / examples only)."""
+        payload = {
+            "duration_s": self.duration_s,
+            "traces": [
+                {
+                    "vehicle_id": tr.vehicle_id,
+                    "times": tr.trajectory.times,
+                    "points": [[p.x, p.y] for p in tr.trajectory.points],
+                }
+                for tr in self.traces
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceSet":
+        """Load a trace set saved by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        out = cls(duration_s=payload["duration_s"])
+        for entry in payload["traces"]:
+            traj = Trajectory(
+                times=[float(t) for t in entry["times"]],
+                points=[Point(x, y) for x, y in entry["points"]],
+            )
+            out.add(Trace(vehicle_id=entry["vehicle_id"], trajectory=traj))
+        return out

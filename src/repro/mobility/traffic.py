@@ -1,0 +1,149 @@
+"""Random-trip traffic simulation on a road network.
+
+Each vehicle spawns at a random intersection, routes to a random
+destination at its cruise speed, and immediately picks a new destination
+on arrival — the standard "random trips" workload SUMO generates.  Speeds
+get small per-vehicle jitter so a fleet configured at 50 km/h spans a
+plausible band rather than moving in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.geo.geometry import Point
+from repro.geo.roadnet import NodeId, RoadNetwork
+from repro.geo.routing import Router
+from repro.geo.trajectory import Trajectory
+from repro.mobility.traces import Trace, TraceSet
+from repro.util.rng import derive_seed, make_rng
+
+KMH_TO_MS = 1000.0 / 3600.0
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Fleet-level traffic parameters."""
+
+    n_vehicles: int
+    duration_s: int
+    speed_kmh: float = 50.0
+    speed_jitter: float = 0.15      #: +/- fractional speed variation per vehicle
+    mixed_speeds_kmh: tuple[float, ...] = ()  #: non-empty => per-vehicle choice
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_vehicles <= 0:
+            raise SimulationError("need at least one vehicle")
+        if self.duration_s <= 0:
+            raise SimulationError("duration must be positive")
+        if self.speed_kmh <= 0:
+            raise SimulationError("speed must be positive")
+
+
+class _VehicleWalker:
+    """Moves one vehicle along random routes, emitting per-second samples."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        router: Router,
+        speed_ms: float,
+        rng: random.Random,
+    ) -> None:
+        self._network = network
+        self._router = router
+        self._speed = speed_ms
+        self._rng = rng
+        self._node = network.random_node(rng)
+        self._polyline: list[Point] = []
+        self._seg_index = 0
+        self._seg_offset = 0.0
+        self._pick_new_route()
+
+    def _pick_new_route(self) -> None:
+        destination = self._network.random_node(self._rng)
+        attempts = 0
+        while destination == self._node and attempts < 8:
+            destination = self._network.random_node(self._rng)
+            attempts += 1
+        nodes = self._router.route_nodes(self._node, destination)
+        self._polyline = [self._network.position(n) for n in nodes]
+        if len(self._polyline) == 1:
+            self._polyline = self._polyline * 2
+        self._destination = destination
+        self._seg_index = 0
+        self._seg_offset = 0.0
+
+    def position(self) -> Point:
+        """Current interpolated position."""
+        a = self._polyline[self._seg_index]
+        b = self._polyline[min(self._seg_index + 1, len(self._polyline) - 1)]
+        seg_len = a.distance_to(b)
+        if seg_len == 0:
+            return a
+        frac = self._seg_offset / seg_len
+        return Point(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y))
+
+    def step(self, dt: float = 1.0) -> Point:
+        """Advance ``dt`` seconds along the route; returns the new position."""
+        remaining = self._speed * dt
+        while remaining > 0:
+            a = self._polyline[self._seg_index]
+            b = self._polyline[min(self._seg_index + 1, len(self._polyline) - 1)]
+            seg_len = a.distance_to(b)
+            left_in_seg = seg_len - self._seg_offset
+            if remaining < left_in_seg:
+                self._seg_offset += remaining
+                remaining = 0
+            else:
+                remaining -= left_in_seg
+                self._seg_index += 1
+                self._seg_offset = 0.0
+                if self._seg_index >= len(self._polyline) - 1:
+                    self._node = self._destination
+                    self._pick_new_route()
+        return self.position()
+
+
+@dataclass
+class TrafficSimulator:
+    """Drives a fleet of random-trip vehicles and collects traces."""
+
+    network: RoadNetwork
+    config: TrafficConfig
+    router: Router = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.router = Router(self.network)
+
+    def _vehicle_speed(self, rng: random.Random) -> float:
+        cfg = self.config
+        base = (
+            rng.choice(cfg.mixed_speeds_kmh) if cfg.mixed_speeds_kmh else cfg.speed_kmh
+        )
+        jitter = 1.0 + rng.uniform(-cfg.speed_jitter, cfg.speed_jitter)
+        return base * jitter * KMH_TO_MS
+
+    def run(self) -> TraceSet:
+        """Simulate the fleet and return per-second traces."""
+        cfg = self.config
+        traces = TraceSet(duration_s=cfg.duration_s)
+        for vid in range(cfg.n_vehicles):
+            rng = make_rng(derive_seed(cfg.seed, "vehicle", vid))
+            walker = _VehicleWalker(
+                self.network, self.router, self._vehicle_speed(rng), rng
+            )
+            traj = Trajectory()
+            traj.append(0.0, walker.position())
+            for t in range(1, cfg.duration_s + 1):
+                traj.append(float(t), walker.step(1.0))
+            traces.add(Trace(vehicle_id=vid, trajectory=traj))
+        return traces
+
+
+def simulate_traffic(network: RoadNetwork, config: TrafficConfig) -> TraceSet:
+    """One-call convenience wrapper around :class:`TrafficSimulator`."""
+    return TrafficSimulator(network=network, config=config).run()

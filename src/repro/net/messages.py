@@ -1,0 +1,87 @@
+"""Wire formats for the ViewMap service protocol.
+
+View profiles travel as fixed binary blocks (60 packed VDs + the Bloom
+bit-array — 4576 bytes, matching Section 6.1 minus the secret that never
+leaves the vehicle).  Control messages use a JSON envelope with hex-coded
+binary fields: explicit, debuggable, and independent of Python pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.constants import BLOOM_BYTES, VD_MESSAGE_BYTES, VIDEO_UNIT_SECONDS
+from repro.core.viewdigest import ViewDigest
+from repro.core.viewprofile import ViewProfile
+from repro.crypto.bloom import BloomFilter
+from repro.errors import WireFormatError
+
+VP_WIRE_BYTES = VIDEO_UNIT_SECONDS * VD_MESSAGE_BYTES + BLOOM_BYTES
+
+
+def pack_view_profile(vp: ViewProfile) -> bytes:
+    """Serialize a VP to its upload form: 60 VDs then the Bloom bits."""
+    if len(vp.digests) != VIDEO_UNIT_SECONDS:
+        raise WireFormatError(
+            f"only complete {VIDEO_UNIT_SECONDS}-digest VPs can be uploaded"
+        )
+    body = b"".join(vd.pack() for vd in vp.digests) + vp.bloom.to_bytes()
+    if len(body) != VP_WIRE_BYTES:
+        raise WireFormatError(f"packed VP is {len(body)} bytes, expected {VP_WIRE_BYTES}")
+    return body
+
+
+def unpack_view_profile(data: bytes) -> ViewProfile:
+    """Parse an uploaded VP block.  Never yields a trusted VP."""
+    if len(data) != VP_WIRE_BYTES:
+        raise WireFormatError(f"VP block must be {VP_WIRE_BYTES} bytes, got {len(data)}")
+    digests = []
+    for i in range(VIDEO_UNIT_SECONDS):
+        chunk = data[i * VD_MESSAGE_BYTES : (i + 1) * VD_MESSAGE_BYTES]
+        digests.append(ViewDigest.unpack(chunk))
+    bloom = BloomFilter.from_bytes(data[VIDEO_UNIT_SECONDS * VD_MESSAGE_BYTES :])
+    return ViewProfile(digests=digests, bloom=bloom, trusted=False)
+
+
+def encode_message(kind: str, **fields: Any) -> bytes:
+    """Encode one protocol message.
+
+    ``bytes`` values are hex-coded; lists of bytes likewise.  ``kind``
+    selects the server handler.
+    """
+    payload: dict[str, Any] = {"kind": kind}
+    for key, value in fields.items():
+        payload[key] = _encode_value(value)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"hex": value.hex()}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    return value
+
+
+def decode_message(data: bytes) -> dict[str, Any]:
+    """Decode a protocol message, restoring hex-coded bytes fields."""
+    try:
+        payload = json.loads(data.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireFormatError("malformed protocol message") from exc
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise WireFormatError("protocol message missing kind")
+    return {k: _decode_value(v) for k, v in payload.items()}
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"hex"}:
+            return bytes.fromhex(value["hex"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value

@@ -1,0 +1,83 @@
+"""The system's network endpoint: dispatches protocol messages.
+
+Wraps a :class:`~repro.core.system.ViewMapSystem` behind the message
+formats of :mod:`repro.net.messages`.  The server sees only the exit
+relay's address and a rotating session id — it cannot attribute uploads
+to users.  Sessions are logged so privacy tests can verify unlinkability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.system import ViewMapSystem
+from repro.errors import ReproError
+from repro.net.messages import decode_message, encode_message, unpack_view_profile
+from repro.net.transport import InMemoryNetwork
+
+
+@dataclass
+class ViewMapServer:
+    """Network front-end for the ViewMap service."""
+
+    system: ViewMapSystem
+    network: InMemoryNetwork
+    address: str = "viewmap-system"
+    #: session ids observed per request kind (for unlinkability tests)
+    session_log: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.network.register(self.address, self.handle)
+
+    def handle(self, payload: bytes) -> bytes:
+        """Decode, dispatch, and encode one request/response exchange."""
+        try:
+            message = decode_message(payload)
+            kind = message["kind"]
+            self.session_log.append((kind, message.get("session", "")))
+            handler = getattr(self, f"_on_{kind}", None)
+            if handler is None:
+                return encode_message("error", reason=f"unknown kind: {kind}")
+            return handler(message)
+        except ReproError as exc:
+            return encode_message("error", reason=str(exc))
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_upload_vp(self, message: dict[str, Any]) -> bytes:
+        vp = unpack_view_profile(message["vp"])
+        if vp.vp_id in self.system.database:
+            return encode_message("ack", accepted=False, reason="duplicate")
+        self.system.ingest_vp(vp)
+        return encode_message("ack", accepted=True)
+
+    def _on_list_solicitations(self, message: dict[str, Any]) -> bytes:
+        ids = self.system.solicitations.requested_ids()
+        return encode_message("solicitations", vp_ids=list(ids))
+
+    def _on_upload_video(self, message: dict[str, Any]) -> bytes:
+        accepted = self.system.receive_video(message["vp_id"], message["chunks"])
+        return encode_message("ack", accepted=accepted)
+
+    def _on_list_rewards(self, message: dict[str, Any]) -> bytes:
+        ids = self.system.rewards.pending_ids()
+        return encode_message("rewards", vp_ids=list(ids))
+
+    def _on_claim_reward(self, message: dict[str, Any]) -> bytes:
+        units = self.system.rewards.offered_units(
+            message["vp_id"], message["secret"]
+        )
+        return encode_message("reward_offer", units=units)
+
+    def _on_sign_blinded(self, message: dict[str, Any]) -> bytes:
+        signatures = self.system.rewards.sign_blinded_batch(
+            message["vp_id"],
+            message["secret"],
+            [int(b) for b in message["blinded"]],
+        )
+        return encode_message("signatures", signatures=[str(s) for s in signatures])
+
+    def _on_public_key(self, message: dict[str, Any]) -> bytes:
+        public = self.system.rewards.public_key
+        return encode_message("public_key", n=str(public.n), e=str(public.e))

@@ -1,0 +1,24 @@
+"""Privacy analysis: the tracking adversary and its metrics (Section 6.2.2).
+
+The system itself is modelled as the adversary: it holds the anonymized
+VP database and tries to follow one vehicle by linking VPs adjacent in
+space and time.  :mod:`repro.privacy.dataset` derives a lightweight
+per-minute VP dataset (actual + guard records) from mobility traces;
+:mod:`repro.privacy.tracker` runs the belief-propagation tracker over it;
+:mod:`repro.privacy.metrics` computes location entropy and the tracking
+success ratio reported in Figs 10/11 and 22a/b.
+"""
+
+from repro.privacy.dataset import VPRecord, PrivacyDataset, build_privacy_dataset
+from repro.privacy.tracker import TrackingRun, VPTracker
+from repro.privacy.metrics import location_entropy, tracking_success_ratio
+
+__all__ = [
+    "VPRecord",
+    "PrivacyDataset",
+    "build_privacy_dataset",
+    "TrackingRun",
+    "VPTracker",
+    "location_entropy",
+    "tracking_success_ratio",
+]

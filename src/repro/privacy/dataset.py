@@ -1,0 +1,175 @@
+"""Lightweight VP dataset for long-horizon tracking experiments.
+
+Tracking only depends on each VP's start/end positions and on which guard
+VPs were fabricated for whom — not on hashes or Bloom filters.  Building
+full VPs for 1000 vehicles x 20 minutes would allocate millions of digest
+objects, so this module derives exactly the tracker-relevant view of the
+VP database straight from mobility traces, following the same protocol
+rules as the full agent:
+
+* an actual record per vehicle-minute (start = minute start position,
+  end = minute end position);
+* each vehicle picks ceil(alpha * m) of its m neighbours per minute and
+  emits a guard record starting at the *neighbour's* minute-start
+  position and ending at its *own* minute-end position.
+
+Neighbourship uses the same range + LOS predicate as the full channel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from math import ceil
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.constants import DSRC_RANGE_M, GUARD_ALPHA
+from repro.errors import SimulationError
+from repro.mobility.traces import TraceSet
+from repro.sim.contacts import LosFn
+from repro.util.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class VPRecord:
+    """Tracker-relevant summary of one (actual or guard) VP."""
+
+    record_id: int
+    minute: int
+    start: tuple[float, float]
+    end: tuple[float, float]
+    owner: int                 #: ground truth, never visible to the tracker
+    is_guard: bool
+    guard_for: int | None = None   #: vehicle whose start position this mimics
+
+
+@dataclass
+class PrivacyDataset:
+    """Per-minute VP records plus ground-truth indices."""
+
+    n_minutes: int
+    records_by_minute: dict[int, list[VPRecord]] = field(default_factory=dict)
+    #: actual record of (vehicle, minute)
+    actual_index: dict[tuple[int, int], VPRecord] = field(default_factory=dict)
+    #: per-minute neighbour counts (for VP volume stats, Fig 9)
+    neighbor_counts: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    def records(self, minute: int) -> list[VPRecord]:
+        """All VP records of one minute."""
+        return self.records_by_minute.get(minute, [])
+
+    def actual_record(self, vehicle: int, minute: int) -> VPRecord:
+        """Ground-truth lookup of a vehicle's actual VP record."""
+        return self.actual_index[(vehicle, minute)]
+
+    def guard_count(self, minute: int) -> int:
+        """Number of guard records in one minute."""
+        return sum(1 for r in self.records(minute) if r.is_guard)
+
+    def vps_per_minute(self) -> float:
+        """Average total VP volume per minute (actual + guard)."""
+        if not self.records_by_minute:
+            return 0.0
+        return float(
+            np.mean([len(v) for v in self.records_by_minute.values()])
+        )
+
+
+def _minute_neighbors(
+    traces: TraceSet,
+    minute: int,
+    max_range_m: float,
+    los_fn: LosFn | None,
+    probe_step_s: int,
+) -> dict[int, set[int]]:
+    """Vehicles heard at least once during the minute, per vehicle."""
+    from repro.geo.geometry import Point
+
+    neighbors: dict[int, set[int]] = {vid: set() for vid in traces.vehicle_ids()}
+    ids = traces.vehicle_ids()
+    matrix = traces.position_matrix()
+    start = minute * 60
+    for sec in range(start + 1, start + 61, probe_step_s):
+        if sec > traces.duration_s:
+            break
+        pts = matrix[:, sec, :]
+        tree = cKDTree(pts)
+        for ii, jj in tree.query_pairs(max_range_m):
+            if los_fn is not None:
+                pa = Point(pts[ii, 0], pts[ii, 1])
+                pb = Point(pts[jj, 0], pts[jj, 1])
+                if not los_fn(pa, pb):
+                    continue
+            a, b = ids[ii], ids[jj]
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+    return neighbors
+
+
+def build_privacy_dataset(
+    traces: TraceSet,
+    alpha: float = GUARD_ALPHA,
+    max_range_m: float = DSRC_RANGE_M,
+    los_fn: LosFn | None = None,
+    with_guards: bool = True,
+    probe_step_s: int = 5,
+    seed: int = 0,
+) -> PrivacyDataset:
+    """Derive the tracker's view of the VP database from traces."""
+    n_minutes = traces.duration_s // 60
+    if n_minutes == 0:
+        raise SimulationError("traces must cover at least one full minute")
+    matrix = traces.position_matrix()
+    ids = traces.vehicle_ids()
+    row_of = {vid: i for i, vid in enumerate(ids)}
+    dataset = PrivacyDataset(n_minutes=n_minutes)
+    next_id = 0
+
+    for minute in range(n_minutes):
+        t_start, t_end = minute * 60, minute * 60 + 60
+        records: list[VPRecord] = []
+        neighbors = _minute_neighbors(
+            traces, minute, max_range_m, los_fn, probe_step_s
+        )
+        dataset.neighbor_counts[minute] = {
+            vid: len(nbrs) for vid, nbrs in neighbors.items()
+        }
+        for vid in ids:
+            row = row_of[vid]
+            rec = VPRecord(
+                record_id=next_id,
+                minute=minute,
+                start=tuple(matrix[row, t_start]),
+                end=tuple(matrix[row, t_end]),
+                owner=vid,
+                is_guard=False,
+            )
+            next_id += 1
+            records.append(rec)
+            dataset.actual_index[(vid, minute)] = rec
+        if with_guards:
+            for vid in ids:
+                nbrs = sorted(neighbors[vid])
+                if not nbrs:
+                    continue
+                rng = make_rng(derive_seed(seed, "guards", vid, minute))
+                count = min(ceil(alpha * len(nbrs)), len(nbrs))
+                chosen = rng.sample(nbrs, count)
+                row = row_of[vid]
+                for nbr in chosen:
+                    records.append(
+                        VPRecord(
+                            record_id=next_id,
+                            minute=minute,
+                            start=tuple(matrix[row_of[nbr], t_start]),
+                            end=tuple(matrix[row, t_end]),
+                            owner=vid,
+                            is_guard=True,
+                            guard_for=nbr,
+                        )
+                    )
+                    next_id += 1
+        dataset.records_by_minute[minute] = records
+    return dataset

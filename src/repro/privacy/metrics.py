@@ -1,0 +1,44 @@
+"""Privacy metrics: location entropy and tracking success ratio.
+
+Section 6.2.2 defines location entropy H_t = -sum_i p(i,t) log2 p(i,t) as
+the tracker's uncertainty (X bits ~ 2^X equally-likely locations) and the
+tracking success ratio S_t = p(u, t) — the belief the tracker assigns to
+the target's true location, unknown to the tracker itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def location_entropy(probabilities: Iterable[float]) -> float:
+    """Shannon entropy (bits) of a belief distribution.
+
+    Zero-probability entries are skipped; an empty or single-certainty
+    distribution has zero entropy.
+    """
+    h = 0.0
+    for p in probabilities:
+        if p > 0.0:
+            h -= p * math.log2(p)
+    return h
+
+
+def tracking_success_ratio(belief: dict[int, float], true_id: int) -> float:
+    """S_t: the belief mass the tracker put on the true record."""
+    return belief.get(true_id, 0.0)
+
+
+def average_series(series: Sequence[Sequence[float]]) -> list[float]:
+    """Element-wise mean across same-length per-target series.
+
+    Used to average entropy / success curves over many tracked targets,
+    as the paper's figures plot fleet averages.
+    """
+    if not series:
+        return []
+    arr = np.array([list(s) for s in series], dtype=np.float64)
+    return [float(x) for x in arr.mean(axis=0)]

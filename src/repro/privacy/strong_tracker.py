@@ -1,0 +1,58 @@
+"""A stronger tracking adversary: continuation-aware belief updates.
+
+The baseline tracker weights next-minute candidates only by start-point
+deviation.  This variant additionally checks *continuation*: a candidate
+VP whose end position has no plausible successor VP in the following
+minute is down-weighted (a decoy that dead-ends would be suspicious).
+
+ViewMap's guards resist this by construction — every guard ends at its
+creator's true position, from which real VPs (and further guards)
+continue — so the lookahead buys the adversary very little.  The
+ablation bench quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.privacy.dataset import PrivacyDataset, VPRecord
+from repro.privacy.tracker import TrackingRun, VPTracker
+
+
+@dataclass
+class ContinuationTracker(VPTracker):
+    """Belief tracker with one-minute continuation lookahead."""
+
+    dead_end_penalty: float = 0.1    #: weight multiplier for dead-end candidates
+
+    def _advance(
+        self,
+        belief: dict[int, float],
+        prev_records: dict[int, VPRecord],
+        next_records: list[VPRecord],
+    ) -> dict[int, float]:
+        raw = super()._advance(belief, prev_records, next_records)
+        if not raw:
+            return raw
+        minute = next_records[0].minute
+        following = self.dataset.records(minute + 1)
+        if not following:
+            return raw  # nothing to look ahead into
+        tree = cKDTree(np.array([r.start for r in following]))
+        by_id = {r.record_id: r for r in next_records}
+        adjusted: dict[int, float] = {}
+        for rec_id, p in raw.items():
+            rec = by_id.get(rec_id)
+            if rec is None:
+                continue
+            has_continuation = bool(tree.query_ball_point(rec.end, self.gate_m))
+            weight = 1.0 if has_continuation else self.dead_end_penalty
+            adjusted[rec_id] = p * weight
+        total = sum(adjusted.values())
+        if total <= 0:
+            return raw
+        return {rid: v / total for rid, v in adjusted.items()}

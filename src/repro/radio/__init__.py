@@ -1,0 +1,19 @@
+"""DSRC radio substrate: propagation, packet delivery, broadcast channel.
+
+Replaces the paper's IEEE 802.11p on-board units.  The model is calibrated
+to the field observations of Section 7: line-of-sight links succeed out to
+400 m nearly always, obstructed links fail, and PDR fluctuates in the
+-100..-80 dBm RSSI band (Fig. 16).
+"""
+
+from repro.radio.propagation import PropagationModel, free_space_rssi
+from repro.radio.pdr import PDRModel
+from repro.radio.channel import DsrcChannel, DsrcRadioConfig
+
+__all__ = [
+    "PropagationModel",
+    "free_space_rssi",
+    "PDRModel",
+    "DsrcChannel",
+    "DsrcRadioConfig",
+]

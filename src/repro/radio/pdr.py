@@ -1,0 +1,48 @@
+"""Packet delivery ratio as a function of RSSI.
+
+Fig. 16 of the paper scatter-plots PDR against RSSI: near-certain delivery
+above ~-75 dBm, near-zero below ~-103 dBm, and a wide fluctuation band in
+between (-100..-80 dBm) that the authors conclude makes RSSI a poor
+predictor of VP linkage.  We model the mean with a logistic curve and add
+bounded fluctuation noise inside the transition band.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+
+@dataclass
+class PDRModel:
+    """Logistic PDR(RSSI) with band-limited fluctuation."""
+
+    midpoint_dbm: float = -91.0     #: RSSI with mean PDR = 0.5
+    steepness: float = 0.35         #: logistic slope (1/dB)
+    fluctuation: float = 0.25       #: +/- noise amplitude inside the band
+    band_low_dbm: float = -100.0    #: fluctuation band lower edge (Fig. 16)
+    band_high_dbm: float = -80.0    #: fluctuation band upper edge
+    rng: random.Random = field(default_factory=random.Random)
+
+    @classmethod
+    def with_seed(cls, seed: int, **kwargs) -> "PDRModel":
+        """Construct with a deterministic noise stream."""
+        return cls(rng=make_rng(seed), **kwargs)
+
+    def mean_pdr(self, rssi_dbm: float) -> float:
+        """Mean delivery ratio at a given RSSI."""
+        return 1.0 / (1.0 + math.exp(-self.steepness * (rssi_dbm - self.midpoint_dbm)))
+
+    def sample_pdr(self, rssi_dbm: float) -> float:
+        """One PDR observation: mean plus in-band fluctuation, clamped."""
+        pdr = self.mean_pdr(rssi_dbm)
+        if self.band_low_dbm <= rssi_dbm <= self.band_high_dbm:
+            pdr += self.rng.uniform(-self.fluctuation, self.fluctuation)
+        return min(1.0, max(0.0, pdr))
+
+    def delivered(self, rssi_dbm: float) -> bool:
+        """Bernoulli draw: was a single packet at this RSSI received?"""
+        return self.rng.random() < self.sample_pdr(rssi_dbm)

@@ -1,0 +1,19 @@
+"""Simulation layer: drives VehicleAgents over traces through a channel.
+
+The full-fidelity runner (:mod:`repro.sim.runner`) exchanges real view
+digests between agents second by second and produces genuine VPs with
+Bloom filters and hash chains — used for viewmap-structure experiments on
+short windows.  Contact-interval extraction (:mod:`repro.sim.contacts`)
+works directly on traces for Fig. 22c.
+"""
+
+from repro.sim.runner import SimulationResult, ViewMapSimulation, run_viewmap_simulation
+from repro.sim.contacts import contact_intervals, mean_contact_time
+
+__all__ = [
+    "SimulationResult",
+    "ViewMapSimulation",
+    "run_viewmap_simulation",
+    "contact_intervals",
+    "mean_contact_time",
+]

@@ -1,0 +1,66 @@
+"""Contact-interval extraction from mobility traces (Fig. 22c).
+
+A *contact* between two vehicles is a maximal run of seconds during which
+they are within DSRC range and line-of-sight.  The paper reports average
+contact times of roughly 8-13 seconds depending on speed, concluding that
+vehicles "have sufficient time to establish VP links".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.constants import DSRC_RANGE_M
+from repro.geo.geometry import Point
+from repro.mobility.traces import TraceSet
+
+#: LOS predicate over two positions; None means open terrain.
+LosFn = Callable[[Point, Point], bool]
+
+
+def contact_intervals(
+    traces: TraceSet,
+    max_range_m: float = DSRC_RANGE_M,
+    los_fn: LosFn | None = None,
+) -> list[int]:
+    """Return the durations (seconds) of all pairwise contact intervals."""
+    active: dict[tuple[int, int], int] = {}
+    durations: list[int] = []
+    matrix = traces.position_matrix()
+    ids = traces.vehicle_ids()
+    for t in range(traces.duration_s + 1):
+        pts = matrix[:, t, :]
+        tree = cKDTree(pts)
+        now: set[tuple[int, int]] = set()
+        for ii, jj in tree.query_pairs(max_range_m):
+            a, b = ids[ii], ids[jj]
+            if los_fn is not None:
+                pa = Point(pts[ii, 0], pts[ii, 1])
+                pb = Point(pts[jj, 0], pts[jj, 1])
+                if not los_fn(pa, pb):
+                    continue
+            now.add((min(a, b), max(a, b)))
+        ended = [pair for pair in active if pair not in now]
+        for pair in ended:
+            durations.append(t - active.pop(pair))
+        for pair in now:
+            active.setdefault(pair, t)
+    # close out contacts still open at the end of the trace
+    final_t = traces.duration_s + 1
+    durations.extend(final_t - start for start in active.values())
+    return durations
+
+
+def mean_contact_time(
+    traces: TraceSet,
+    max_range_m: float = DSRC_RANGE_M,
+    los_fn: LosFn | None = None,
+) -> float:
+    """Average pairwise contact duration in seconds (0.0 if no contacts)."""
+    durations = contact_intervals(traces, max_range_m, los_fn)
+    if not durations:
+        return 0.0
+    return float(np.mean(durations))

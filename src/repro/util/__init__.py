@@ -1,0 +1,27 @@
+"""Small shared utilities: byte encoding, seeded RNG, time alignment."""
+
+from repro.util.encoding import (
+    pack_float,
+    unpack_float,
+    pack_uint,
+    unpack_uint,
+    to_hex,
+    from_hex,
+)
+from repro.util.rng import make_rng, derive_seed
+from repro.util.timeline import minute_of, second_in_minute, minute_start, align_to_minute
+
+__all__ = [
+    "pack_float",
+    "unpack_float",
+    "pack_uint",
+    "unpack_uint",
+    "to_hex",
+    "from_hex",
+    "make_rng",
+    "derive_seed",
+    "minute_of",
+    "second_in_minute",
+    "minute_start",
+    "align_to_minute",
+]

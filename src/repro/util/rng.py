@@ -1,0 +1,26 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component in the library accepts either a seed or a
+``random.Random`` instance so experiments are exactly reproducible.
+``derive_seed`` gives stable per-entity seeds (e.g. one per vehicle) from a
+master seed without the correlations of ``seed + i`` arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random``: pass instances through, wrap seeds."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive_seed(master: int, *labels: object) -> int:
+    """Derive a stable 63-bit sub-seed from a master seed and labels."""
+    payload = repr((master,) + labels).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

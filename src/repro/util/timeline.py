@@ -1,0 +1,31 @@
+"""Minute/second alignment helpers.
+
+ViewMap dashcams are GPS time-synched and start a new recording "every
+minute on the minute" (Section 5.1.1), so the whole system reasons in
+aligned 60-second windows.  Times are integer seconds since an arbitrary
+epoch; a *minute index* identifies one such window.
+"""
+
+from __future__ import annotations
+
+from repro.constants import VIDEO_UNIT_SECONDS
+
+
+def minute_of(t: float) -> int:
+    """Return the minute index containing second ``t``."""
+    return int(t) // VIDEO_UNIT_SECONDS
+
+
+def second_in_minute(t: float) -> int:
+    """Return the 0-based second offset of ``t`` within its minute."""
+    return int(t) % VIDEO_UNIT_SECONDS
+
+
+def minute_start(minute: int) -> int:
+    """Return the first second of a minute index."""
+    return minute * VIDEO_UNIT_SECONDS
+
+
+def align_to_minute(t: float) -> int:
+    """Round ``t`` down to the start of its minute window."""
+    return minute_start(minute_of(t))

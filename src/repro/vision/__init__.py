@@ -1,0 +1,26 @@
+"""Visual anonymization substrate: realtime licence-plate blurring.
+
+Replaces the paper's OpenCV-on-Raspberry-Pi pipeline (Section 6.2.1,
+Table 1) with a numpy/scipy implementation of the same three stages:
+frame capture (I/O), plate localization + blur (compute), frame write
+(I/O).  Synthetic frames embed bright high-contrast plate rectangles so
+the localizer has real work to do; platform models scale measured times
+to the paper's three reference machines.
+"""
+
+from repro.vision.frames import FrameSpec, PlateRegion, synthesize_frame
+from repro.vision.plates import localize_plates
+from repro.vision.blur import blur_regions, BlurPipeline, PipelineTiming
+from repro.vision.platforms import PlatformModel, REFERENCE_PLATFORMS
+
+__all__ = [
+    "FrameSpec",
+    "PlateRegion",
+    "synthesize_frame",
+    "localize_plates",
+    "blur_regions",
+    "BlurPipeline",
+    "PipelineTiming",
+    "PlatformModel",
+    "REFERENCE_PLATFORMS",
+]

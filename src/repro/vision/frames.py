@@ -1,0 +1,108 @@
+"""Synthetic dashcam frames with embedded licence plates.
+
+A frame is a (H, W) uint8 grayscale array: road-scene texture plus a few
+bright, high-contrast rectangles with plate-like aspect ratios (Korean
+plates are roughly 2:1 to 5:1 width:height) and dark glyph stripes.  The
+localizer must find these among distractor rectangles with implausible
+aspects or sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FRAME_HEIGHT, FRAME_WIDTH
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class PlateRegion:
+    """Ground-truth bounding box of one embedded plate."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def slices(self) -> tuple[slice, slice]:
+        """(row_slice, col_slice) selecting the region in a frame array."""
+        return (slice(self.y, self.y + self.height), slice(self.x, self.x + self.width))
+
+    def intersects(self, other: "PlateRegion") -> bool:
+        """Axis-aligned overlap test."""
+        return not (
+            self.x + self.width <= other.x
+            or other.x + other.width <= self.x
+            or self.y + self.height <= other.y
+            or other.y + other.height <= self.y
+        )
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Parameters of one synthetic frame."""
+
+    width: int = FRAME_WIDTH
+    height: int = FRAME_HEIGHT
+    n_plates: int = 2
+    n_distractors: int = 3
+    noise_sigma: float = 8.0
+
+
+def synthesize_frame(
+    spec: FrameSpec = FrameSpec(), rng: random.Random | int | None = None
+) -> tuple[np.ndarray, list[PlateRegion]]:
+    """Generate a frame and the ground-truth plate regions inside it."""
+    rng = make_rng(rng)
+    np_rng = np.random.default_rng(rng.getrandbits(32))
+    frame = np_rng.normal(90.0, spec.noise_sigma, (spec.height, spec.width))
+    # dark road band across the lower half, lighter sky above
+    frame[: spec.height // 3] += 40.0
+    frame[2 * spec.height // 3 :] -= 25.0
+
+    # plate/distractor sizes scale with the frame so small preview
+    # resolutions (e.g. 160x120 recorder frames) stay valid
+    scale = spec.width / FRAME_WIDTH
+    plate_w_lo = max(12, int(60 * scale))
+    plate_w_hi = max(plate_w_lo + 4, int(120 * scale))
+
+    plates: list[PlateRegion] = []
+    attempts = 0
+    while len(plates) < spec.n_plates and attempts < 100:
+        attempts += 1
+        w = rng.randint(plate_w_lo, plate_w_hi)
+        h = max(4, int(w / rng.uniform(3.0, 5.0)))
+        x = rng.randint(0, max(spec.width - w - 1, 1))
+        y = rng.randint(spec.height // 3, max(spec.height - h - 1, spec.height // 3 + 1))
+        region = PlateRegion(x=x, y=y, width=w, height=h)
+        if any(region.intersects(p) for p in plates):
+            continue
+        rows, cols = region.slices()
+        frame[rows, cols] = 235.0
+        # dark glyph stripes inside the plate
+        for gx in range(x + 6, x + w - 6, 12):
+            frame[y + 3 : y + h - 3, gx : gx + 5] = 40.0
+        plates.append(region)
+
+    # distractors: bright blobs with non-plate geometry (square-ish or huge)
+    for _ in range(spec.n_distractors):
+        if rng.random() < 0.5:
+            w = rng.randint(max(6, int(24 * scale)), max(8, int(40 * scale)))
+            h = rng.randint(max(5, w - 6), w + 6)  # aspect ~1: not a plate
+        else:
+            w = rng.randint(max(20, int(200 * scale)), max(24, int(300 * scale)))
+            h = rng.randint(max(10, int(60 * scale)), max(12, int(120 * scale)))
+        w = min(w, spec.width - 2)
+        h = min(h, spec.height - 2)
+        x = rng.randint(0, spec.width - w - 1)
+        y = rng.randint(0, spec.height - h - 1)
+        blob = PlateRegion(x=x, y=y, width=w, height=h)
+        if any(blob.intersects(p) for p in plates):
+            continue
+        rows, cols = blob.slices()
+        frame[rows, cols] = 225.0
+
+    return np.clip(frame, 0, 255).astype(np.uint8), plates

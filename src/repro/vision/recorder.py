@@ -1,0 +1,57 @@
+"""Dashcam recorder: real (synthetic) frames as protocol chunk content.
+
+Bridges the vision substrate into the core pipeline: a
+:class:`DashcamRecorder` produces one frame per second, blurs licence
+plates in real time (Section 5.1.1: "the recording procedure also
+performs license plate blurring in real time"), and returns the encoded
+frame bytes as the second's content chunk.  Plugged into a
+:class:`~repro.core.vehicle.VehicleAgent` as its ``chunk_fn``, the
+cascaded hashes then cover *visually anonymized* content — exactly what
+the system later validates on upload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.vehicle import ChunkFn
+from repro.util.rng import derive_seed
+from repro.vision.blur import BlurPipeline
+from repro.vision.frames import FrameSpec, synthesize_frame
+
+
+@dataclass
+class DashcamRecorder:
+    """Produces blurred dashcam frames as per-second content chunks."""
+
+    vehicle_id: int
+    spec: FrameSpec = field(default_factory=lambda: FrameSpec(width=160, height=120))
+    pipeline: BlurPipeline = field(default_factory=BlurPipeline)
+    #: per-second stage timings, for realtime-budget checks
+    timings: list = field(default_factory=list)
+
+    def record_second(self, minute: int, second_index: int) -> bytes:
+        """Capture, blur and encode one second's key frame."""
+        frame, _ = synthesize_frame(
+            self.spec,
+            rng=derive_seed(self.vehicle_id, "frame", minute, second_index),
+        )
+        blurred, timing = self.pipeline.process(frame)
+        self.timings.append(timing)
+        return blurred.tobytes()
+
+    def chunk_fn(self) -> ChunkFn:
+        """The callable a VehicleAgent uses as its content source."""
+        return self.record_second
+
+    def decode_chunk(self, chunk: bytes) -> np.ndarray:
+        """Rebuild the frame array from an uploaded chunk."""
+        return np.frombuffer(chunk, dtype=np.uint8).reshape(
+            self.spec.height, self.spec.width
+        )
+
+    def realtime_ok(self, budget_s: float = 1.0) -> bool:
+        """Did every recorded second stay within the broadcast deadline?"""
+        return all(t.total_s <= budget_s for t in self.timings)

@@ -1,0 +1,32 @@
+"""Tests for the Table 1 blur experiment driver."""
+
+from repro.analysis.blurexp import measure_host_timing, table1_rows
+
+
+class TestMeasureHost:
+    def test_positive_stage_times(self):
+        timing = measure_host_timing(frames=3, seed=1)
+        assert timing.blur_s > 0
+        assert timing.capture_io_s > 0
+        assert timing.write_io_s > 0
+
+
+class TestTable1Rows:
+    def test_three_rows(self):
+        rows = table1_rows(frames=3, seed=2)
+        assert len(rows) == 3
+
+    def test_anchored_rows_reproduce_paper_stage_times(self):
+        rows = table1_rows(frames=3, seed=3, anchor_to_paper=True)
+        for row in rows:
+            assert abs(row.blur_ms - row.paper_blur_ms) < 0.5
+            assert abs(row.io_ms - row.paper_io_ms) < 0.5
+
+    def test_fps_ordering_matches_paper(self):
+        rows = table1_rows(frames=3, seed=4)
+        assert rows[0].fps < rows[1].fps < rows[2].fps
+
+    def test_pi_clears_10fps(self):
+        rows = table1_rows(frames=3, seed=5)
+        pi = rows[0]
+        assert pi.fps >= 9.5  # the paper's realtime usability threshold

@@ -1,0 +1,35 @@
+"""Tests for the city-scale experiment drivers (small configurations)."""
+
+from repro.analysis.cityexp import city_viewmap_stats, contact_time_by_speed
+
+
+class TestCityViewmapStats:
+    def test_stats_structure(self):
+        stats, vmap = city_viewmap_stats(
+            50.0, n_vehicles=20, area_km=1.5, seed=1
+        )
+        assert stats.nodes >= 20            # actuals + guards
+        assert stats.label == "50km/h"
+        assert 0.0 <= stats.member_ratio <= 1.0
+        assert vmap.node_count == stats.nodes
+
+    def test_mix_label(self):
+        stats, _ = city_viewmap_stats(
+            None, mixed_speeds_kmh=(30.0, 70.0), n_vehicles=15, area_km=1.5, seed=2
+        )
+        assert stats.label == "Mix"
+
+
+class TestContactTime:
+    def test_speed_sweep(self):
+        contact = contact_time_by_speed(
+            [30.0, 70.0], n_vehicles=40, area_km=2.0, duration_s=120, seed=3
+        )
+        assert set(contact) == {"30km/h", "70km/h"}
+        assert all(v > 0 for v in contact.values())
+
+    def test_mix_key(self):
+        contact = contact_time_by_speed(
+            [None], n_vehicles=20, area_km=1.5, duration_s=60, seed=4
+        )
+        assert "Mix" in contact

@@ -1,0 +1,45 @@
+"""Tests for Pearson correlation analysis."""
+
+import pytest
+
+from repro.analysis.correlation import link_video_correlation, pearson
+from repro.analysis.fieldtrial import ENVIRONMENTS
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_short_series_zero(self):
+        assert pearson([1], [1]) == 0.0
+
+    def test_independent_series_near_zero(self):
+        import random
+
+        rng = random.Random(1)
+        xs = [rng.random() for _ in range(500)]
+        ys = [rng.random() for _ in range(500)]
+        assert abs(pearson(xs, ys)) < 0.15
+
+
+class TestLinkVideoCorrelation:
+    def test_blockage_environments_show_association(self):
+        corr = link_video_correlation(
+            [ENVIRONMENTS["downtown"], ENVIRONMENTS["residential"]],
+            [200.0, 400.0],
+            windows=40,
+            seed=1,
+        )
+        # VP links and video visibility share the LOS cause
+        assert corr[200.0] > 0.4
+        assert corr[400.0] > 0.4

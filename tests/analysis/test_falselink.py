@@ -1,0 +1,31 @@
+"""Tests for false-linkage analysis."""
+
+from repro.analysis.falselink import empirical_false_linkage, false_linkage_curves
+from repro.crypto.bloom import false_linkage_rate
+
+
+class TestCurves:
+    def test_curve_structure(self):
+        curves = false_linkage_curves([1024, 2048], [100, 200, 300])
+        assert set(curves) == {1024, 2048}
+        assert len(curves[1024]) == 3
+
+    def test_smaller_filter_worse(self):
+        curves = false_linkage_curves([1024, 4096], [300])
+        assert curves[1024][0] > curves[4096][0]
+
+
+class TestEmpirical:
+    def test_matches_analytic_within_factor(self):
+        analytic = false_linkage_rate(2048, 300)
+        measured = empirical_false_linkage(2048, 300, trials=400, seed=1)
+        assert measured < 10 * analytic + 0.01
+        assert measured > analytic / 10
+
+    def test_zero_items_no_false_links(self):
+        assert empirical_false_linkage(2048, 0, trials=50, seed=2) == 0.0
+
+    def test_small_filter_measurably_worse(self):
+        small = empirical_false_linkage(512, 300, trials=200, seed=3)
+        large = empirical_false_linkage(4096, 300, trials=200, seed=3)
+        assert small > large

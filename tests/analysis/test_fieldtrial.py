@@ -1,0 +1,81 @@
+"""Tests for the field-trial environment model."""
+
+import numpy as np
+
+from repro.analysis.fieldtrial import (
+    ENVIRONMENTS,
+    Environment,
+    rssi_pdr_scatter,
+    simulate_window,
+    vlr_curve,
+)
+
+
+class TestEnvironment:
+    def test_building_clear_probability(self):
+        env = Environment("t", 1.0 / 100.0, 0.0, clear_distance_m=0.0)
+        assert env.p_building_clear(0.0) == 1.0
+        assert env.p_building_clear(100.0) < env.p_building_clear(50.0)
+
+    def test_clear_distance_protects_close_range(self):
+        env = Environment("t", 1.0 / 100.0, 0.0, clear_distance_m=50.0)
+        assert env.p_building_clear(40.0) == 1.0
+
+
+class TestSimulateWindow:
+    def test_open_road_always_links(self):
+        env = ENVIRONMENTS["open_road"]
+        outcomes = [simulate_window(env, 300.0, seed=s) for s in range(20)]
+        assert all(o.linked for o in outcomes)
+
+    def test_deterministic_under_seed(self):
+        env = ENVIRONMENTS["downtown"]
+        a = simulate_window(env, 200.0, seed=9)
+        b = simulate_window(env, 200.0, seed=9)
+        assert (a.linked, a.on_video, a.mean_rssi_dbm) == (
+            b.linked,
+            b.on_video,
+            b.mean_rssi_dbm,
+        )
+
+    def test_video_implies_capture_range(self):
+        # on_video at 400 m sometimes true, never past blockage
+        env = Environment("solid", 1.0, 0.0, clear_distance_m=0.0)
+        outcomes = [simulate_window(env, 300.0, seed=s) for s in range(10)]
+        assert not any(o.on_video for o in outcomes)
+
+
+class TestVlrCurve:
+    def test_open_road_flat_at_one(self):
+        curve = vlr_curve(ENVIRONMENTS["open_road"], [100, 250, 400], windows=10, seed=1)
+        assert all(v == 1.0 for v in curve)
+
+    def test_downtown_decreases_with_distance(self):
+        curve = vlr_curve(
+            ENVIRONMENTS["downtown"], [50, 200, 400], windows=40, seed=2
+        )
+        assert curve[0] > curve[2]
+
+    def test_heavy_traffic_below_light(self):
+        from repro.analysis.fieldtrial import HIGHWAY_CONDITIONS
+
+        light = HIGHWAY_CONDITIONS[0][2]
+        heavy = HIGHWAY_CONDITIONS[2][2]
+        light_curve = vlr_curve(light, [300, 400], windows=40, seed=3)
+        heavy_curve = vlr_curve(heavy, [300, 400], windows=40, seed=3)
+        assert np.mean(heavy_curve) < np.mean(light_curve)
+
+
+class TestScatter:
+    def test_scatter_spans_rssi_range(self):
+        pairs = rssi_pdr_scatter([100, 200, 300, 400], samples_per_distance=10, seed=4)
+        rssi = [r for r, _ in pairs]
+        assert min(rssi) < -90.0
+        assert max(rssi) > -80.0
+
+    def test_high_rssi_high_pdr(self):
+        pairs = rssi_pdr_scatter([50, 400], samples_per_distance=30, seed=5)
+        strong = [p for r, p in pairs if r > -75]
+        weak = [p for r, p in pairs if r < -105]
+        if strong and weak:
+            assert np.mean(strong) > np.mean(weak)

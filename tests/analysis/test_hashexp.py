@@ -1,0 +1,35 @@
+"""Tests for the Fig. 8 hashing experiment driver."""
+
+from repro.analysis.hashexp import hash_time_series
+
+
+class TestHashTimeSeries:
+    def test_series_lengths(self):
+        series = hash_time_series(bytes_per_second=100_000, seconds=10, repeats=1)
+        assert len(series.seconds) == 10
+        assert len(series.cascaded_s) == 10
+        assert len(series.normal_s) == 10
+
+    def test_cascaded_stays_constant(self):
+        series = hash_time_series(bytes_per_second=400_000, seconds=30, repeats=2)
+        # worst second no more than a few times the first second
+        assert series.cascaded_worst() < 10 * max(series.cascaded_s[0], 1e-7)
+
+    def test_normal_grows_linearly(self):
+        series = hash_time_series(bytes_per_second=400_000, seconds=30, repeats=2)
+        early = sum(series.normal_s[:5])
+        late = sum(series.normal_s[-5:])
+        assert late > 3 * early
+
+    def test_normal_slower_than_cascaded_at_end(self):
+        series = hash_time_series(bytes_per_second=400_000, seconds=30, repeats=1)
+        assert series.normal_at_end() > series.cascaded_s[-1]
+
+    def test_host_scale_applied(self):
+        base = hash_time_series(bytes_per_second=100_000, seconds=5, repeats=1)
+        scaled = hash_time_series(
+            bytes_per_second=100_000, seconds=5, repeats=1, host_scale=10.0
+        )
+        # both measured independently; scaled values should be larger on
+        # the same order (loose check: averages differ by > 2x)
+        assert sum(scaled.normal_s) > 2 * sum(base.normal_s)

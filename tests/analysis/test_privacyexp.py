@@ -1,0 +1,40 @@
+"""Tests for the privacy experiment driver (small configurations)."""
+
+from repro.analysis.privacyexp import privacy_experiment
+
+
+class TestPrivacyExperiment:
+    def test_curve_structure(self):
+        curves = privacy_experiment(
+            n_vehicles=15, area_km=1.5, minutes=4, n_targets=3, seed=1
+        )
+        assert len(curves.minutes) == 4
+        assert len(curves.entropy_bits) == 4
+        assert len(curves.success_ratio) == 4
+        assert curves.label == "n=15"
+
+    def test_initial_conditions(self):
+        curves = privacy_experiment(
+            n_vehicles=15, area_km=1.5, minutes=3, n_targets=3, seed=2
+        )
+        assert curves.entropy_bits[0] == 0.0
+        assert curves.success_ratio[0] == 1.0
+
+    def test_no_guard_label_and_behaviour(self):
+        curves = privacy_experiment(
+            n_vehicles=15, area_km=1.5, minutes=4, with_guards=False,
+            n_targets=3, seed=3,
+        )
+        assert "no guards" in curves.label
+        # without guards tracking stays easier than the guarded variant
+        guarded = privacy_experiment(
+            n_vehicles=15, area_km=1.5, minutes=4, n_targets=3, seed=3
+        )
+        assert curves.success_ratio[-1] >= guarded.success_ratio[-1] - 0.05
+
+    def test_custom_label(self):
+        curves = privacy_experiment(
+            n_vehicles=10, area_km=1.5, minutes=2, n_targets=2, seed=4,
+            label="custom",
+        )
+        assert curves.label == "custom"

@@ -1,0 +1,44 @@
+"""Tests for the Table 2 scenario catalogue."""
+
+import pytest
+
+from repro.analysis.scenarios import TABLE2_SCENARIOS, run_scenario
+
+
+class TestCatalogue:
+    def test_fourteen_scenarios(self):
+        assert len(TABLE2_SCENARIOS) == 14
+
+    def test_names_unique(self):
+        names = [s.name for s in TABLE2_SCENARIOS]
+        assert len(set(names)) == 14
+
+    def test_conditions_match_paper_vocabulary(self):
+        for s in TABLE2_SCENARIOS:
+            assert s.condition in ("LOS", "NLOS", "LOS/NLOS")
+
+    def test_environment_derivation(self):
+        for s in TABLE2_SCENARIOS:
+            env = s.environment()
+            # p_blocked reproduced by the derived obstruction rate
+            p_blocked = 1.0 - env.p_building_clear(s.distance_m)
+            if s.p_blocked < 1.0:
+                assert p_blocked == pytest.approx(s.p_blocked, abs=0.02)
+            else:
+                assert p_blocked > 0.99
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize(
+        "scenario", TABLE2_SCENARIOS, ids=[s.name for s in TABLE2_SCENARIOS]
+    )
+    def test_measured_close_to_paper(self, scenario):
+        link, video = run_scenario(scenario, windows=80, seed=11)
+        assert abs(link - scenario.paper_linkage) <= 18.0
+        assert abs(video - scenario.paper_video) <= 18.0
+
+    def test_video_never_exceeds_linkage_materially(self):
+        # a VP link only requires radio; video needs sight as well
+        for scenario in TABLE2_SCENARIOS:
+            link, video = run_scenario(scenario, windows=60, seed=12)
+            assert video <= link + 10.0

@@ -1,0 +1,23 @@
+"""Tests for the verification sweep drivers (small configurations)."""
+
+from repro.analysis.verifyexp import fig12_grid, fig13_grid
+from tests.attacks.test_collusion import SMALL
+
+
+class TestFig12Grid:
+    def test_grid_shape(self):
+        grid = fig12_grid(
+            runs=2, hop_bands=[(1, 3)], fake_ratios=[0.5], config=SMALL, seed=1
+        )
+        assert (1, 3) in grid
+        assert 0.5 in grid[(1, 3)]
+        assert 0.0 <= grid[(1, 3)][0.5] <= 1.0
+
+
+class TestFig13Grid:
+    def test_grid_shape(self):
+        grid = fig13_grid(
+            runs=2, dummy_counts=[10], fake_ratios=[0.5], config=SMALL, seed=2
+        )
+        assert 10 in grid
+        assert 0.0 <= grid[10][0.5] <= 1.0

@@ -1,0 +1,35 @@
+"""Tests for VP volume analysis."""
+
+from repro.analysis.volume import coverage_vs_alpha, simulated_vp_volume, vp_volume_curve
+
+
+class TestAnalyticCurve:
+    def test_base_case(self):
+        assert vp_volume_curve(0.1, [0]) == [1.0]
+
+    def test_alpha_increases_volume(self):
+        low = vp_volume_curve(0.1, [100])
+        high = vp_volume_curve(0.9, [100])
+        assert high[0] > low[0]
+
+    def test_ceil_behaviour(self):
+        # ceil(0.1 * 5) = 1, ceil(0.1 * 11) = 2
+        assert vp_volume_curve(0.1, [5, 11]) == [2.0, 3.0]
+
+    def test_monotone_in_neighbors(self):
+        curve = vp_volume_curve(0.5, [10, 50, 100, 200])
+        assert curve == sorted(curve)
+
+
+class TestSimulatedVolume:
+    def test_volume_tracks_alpha(self):
+        m_low, v_low = simulated_vp_volume(0.1, n_vehicles=20, area_km=1.5, minutes=2, seed=3)
+        m_high, v_high = simulated_vp_volume(0.9, n_vehicles=20, area_km=1.5, minutes=2, seed=3)
+        assert v_high > v_low >= 1.0
+        assert m_low > 0  # vehicles do meet each other
+
+
+class TestCoverage:
+    def test_alpha_sweep(self):
+        cov = coverage_vs_alpha([0.05, 0.1, 0.5], m=50, t_minutes=5)
+        assert cov[0.5] < cov[0.1] < cov[0.05]

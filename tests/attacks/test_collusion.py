@@ -1,0 +1,107 @@
+"""Tests for the colluding fake-layer attack model."""
+
+import pytest
+
+from repro.attacks.collusion import (
+    SyntheticViewmapConfig,
+    build_synthetic_viewmap,
+    inject_fake_layer,
+    place_attackers,
+    run_verification_trial,
+)
+from repro.core.verification import link_distances
+from repro.errors import SimulationError
+
+
+SMALL = SyntheticViewmapConfig(
+    n_legit=300,
+    area_length_m=6000.0,
+    area_width_m=2000.0,
+    seed_xy=(400.0, 1000.0),
+    site_xy=(2200.0, 1000.0),
+    site_radius_m=300.0,
+)
+
+
+class TestSyntheticViewmap:
+    def test_structure(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=1)
+        assert vmap.graph.number_of_nodes() == 300
+        assert vmap.trusted == 0
+        assert vmap.positions[0] == SMALL.seed_xy
+
+    def test_edges_respect_radius(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=2)
+        import math
+
+        for a, b in vmap.graph.edges:
+            pa, pb = vmap.positions[a], vmap.positions[b]
+            assert math.dist(pa, pb) <= SMALL.link_radius_m + 1e-6
+
+    def test_site_members_inside_radius(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=3)
+        import math
+
+        for n in vmap.site_members():
+            assert math.dist(vmap.positions[n], SMALL.site_xy) <= SMALL.site_radius_m
+
+
+class TestAttackers:
+    def test_attackers_in_hop_band(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=4)
+        place_attackers(vmap, (1, 3), seed=4)
+        assert len(vmap.attackers) >= 15  # 5% of 300
+        dist = link_distances(vmap.graph, [vmap.trusted])
+        # attackers anchor near band nodes, so they sit within ~band+1 hops
+        for att in vmap.attackers:
+            assert dist[att] <= 5
+
+    def test_impossible_band_raises(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=5)
+        with pytest.raises(SimulationError):
+            place_attackers(vmap, (500, 600), seed=5)
+
+
+class TestFakeLayer:
+    def test_requires_attackers(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=6)
+        with pytest.raises(SimulationError):
+            inject_fake_layer(vmap, 100, seed=6)
+
+    def test_fake_count(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=7)
+        place_attackers(vmap, (1, 3), seed=7)
+        inject_fake_layer(vmap, 200, seed=7)
+        assert len(vmap.fakes) == 200
+
+    def test_fakes_never_touch_honest_legit(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=8)
+        place_attackers(vmap, (1, 3), seed=8)
+        inject_fake_layer(vmap, 200, seed=8)
+        honest = vmap.legit - vmap.attackers
+        for fake in vmap.fakes:
+            for nbr in vmap.graph.neighbors(fake):
+                assert nbr not in honest
+
+    def test_fake_layer_connected_to_attackers(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=9)
+        place_attackers(vmap, (1, 3), seed=9)
+        inject_fake_layer(vmap, 200, seed=9)
+        anchored = any(
+            any(nbr in vmap.attackers for nbr in vmap.graph.neighbors(fake))
+            for fake in vmap.fakes
+        )
+        assert anchored
+
+
+class TestTrial:
+    def test_trial_returns_bool(self):
+        result = run_verification_trial((1, 3), 1.0, config=SMALL, seed=1)
+        assert isinstance(result, bool)
+
+    def test_distant_attackers_always_lose(self):
+        wins = sum(
+            run_verification_trial((8, 12), 1.0, config=SMALL, seed=i)
+            for i in range(5)
+        )
+        assert wins == 5

@@ -1,0 +1,34 @@
+"""Tests for concentration attacks."""
+
+from repro.attacks.collusion import SyntheticViewmapConfig, build_synthetic_viewmap
+from repro.attacks.concentration import concentration_trial, place_dummy_vps
+from tests.attacks.test_collusion import SMALL
+
+
+class TestDummyPlacement:
+    def test_dummy_count(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=1)
+        place_dummy_vps(vmap, n_attackers=2, dummies_per_attacker=10, seed=1)
+        assert len(vmap.attackers) == 20
+
+    def test_dummies_link_to_legit(self):
+        vmap = build_synthetic_viewmap(SMALL, seed=2)
+        place_dummy_vps(vmap, n_attackers=1, dummies_per_attacker=20, seed=2)
+        linked = sum(
+            1 for d in vmap.attackers if vmap.graph.degree(d) > 0
+        )
+        assert linked > 10  # most dummies land in radio range of someone
+
+
+class TestConcentrationTrial:
+    def test_returns_bool(self):
+        assert isinstance(
+            concentration_trial(10, 0.5, config=SMALL, seed=1), bool
+        )
+
+    def test_defense_usually_holds(self):
+        # the paper's claim: accuracy above 95% even with many dummy VPs
+        wins = sum(
+            concentration_trial(25, 1.0, config=SMALL, seed=i) for i in range(8)
+        )
+        assert wins >= 7

@@ -1,0 +1,47 @@
+"""Tests for Bloom poisoning attacks and mitigations."""
+
+from repro.attacks.poisoning import (
+    all_ones_attack_detected,
+    flood_neighbor_table,
+    max_fill_ratio_under_cap,
+)
+from repro.core.viewdigest import VDGenerator, make_secret
+from repro.crypto.bloom import BloomFilter
+from repro.core.viewprofile import ViewProfile
+from repro.geo.geometry import Point
+
+
+def victim_digests(n=60, seed=1):
+    gen = VDGenerator(make_secret(seed))
+    return [gen.tick(float(i + 1), Point(10.0 * i, 0), b"c") for i in range(n)]
+
+
+class TestAllOnesDetection:
+    def test_saturated_bloom_flagged(self):
+        vp = ViewProfile(digests=victim_digests(), bloom=BloomFilter.all_ones())
+        assert all_ones_attack_detected(vp)
+
+    def test_normal_bloom_not_flagged(self, linked_pair):
+        _, _, res_a, _ = linked_pair
+        assert not all_ones_attack_detected(res_a.actual_vp)
+
+
+class TestFlooding:
+    def test_cap_limits_poisoning(self):
+        vp, rejected = flood_neighbor_table(victim_digests(), 2000, rng=1)
+        assert rejected == 2000 - 250
+        # under the cap the bloom stays far from saturation
+        assert vp.bloom.fill_ratio() < max_fill_ratio_under_cap() + 0.05
+        assert not vp.bloom.is_saturated()
+
+    def test_uncapped_flood_would_saturate(self):
+        vp, rejected = flood_neighbor_table(
+            victim_digests(), 2000, max_neighbors=10_000, rng=2
+        )
+        assert rejected == 0
+        assert vp.bloom.fill_ratio() > 0.9
+
+    def test_analytic_cap_fill(self):
+        # with the paper's constants the capped fill is ~86%, not saturated
+        fill = max_fill_ratio_under_cap()
+        assert 0.5 < fill < 0.95

@@ -1,0 +1,68 @@
+"""Tests for the VP database."""
+
+import pytest
+
+from repro.core.database import VPDatabase
+from repro.errors import ValidationError
+from repro.geo.geometry import Point, Rect
+from tests.core.test_viewprofile import make_vp
+
+
+class TestInsertQuery:
+    def test_insert_and_get(self):
+        db = VPDatabase()
+        vp = make_vp(seed=1)
+        db.insert(vp)
+        assert len(db) == 1
+        assert vp.vp_id in db
+        assert db.get(vp.vp_id) is vp
+
+    def test_duplicate_rejected(self):
+        db = VPDatabase()
+        vp = make_vp(seed=1)
+        db.insert(vp)
+        with pytest.raises(ValidationError):
+            db.insert(vp)
+
+    def test_by_minute(self):
+        db = VPDatabase()
+        db.insert(make_vp(seed=1))
+        db.insert(make_vp(seed=2))
+        assert len(db.by_minute(0)) == 2
+        assert db.by_minute(5) == []
+        assert db.minutes() == [0]
+
+    def test_by_minute_in_area(self):
+        db = VPDatabase()
+        near = make_vp(seed=1, x0=0.0)
+        far = make_vp(seed=2, x0=10_000.0)
+        db.insert(near)
+        db.insert(far)
+        area = Rect(-100, -100, 1000, 100)
+        found = db.by_minute_in_area(0, area)
+        assert found == [near]
+
+
+class TestTrusted:
+    def test_trusted_flag_set_on_authority_path(self):
+        db = VPDatabase()
+        vp = make_vp(seed=3)
+        db.insert_trusted(vp)
+        assert vp.trusted
+        assert db.trusted_by_minute(0) == [vp]
+
+    def test_anonymous_vps_not_trusted(self):
+        db = VPDatabase()
+        db.insert(make_vp(seed=4))
+        assert db.trusted_by_minute(0) == []
+
+    def test_nearest_trusted_ordering(self):
+        db = VPDatabase()
+        near = make_vp(seed=5, x0=0.0)
+        far = make_vp(seed=6, x0=5_000.0)
+        db.insert_trusted(far)
+        db.insert_trusted(near)
+        best = db.nearest_trusted(0, Point(0, 0), k=1)
+        assert best == [near]
+        both = db.nearest_trusted(0, Point(0, 0), k=2)
+        assert both == [near, far]

@@ -1,0 +1,114 @@
+"""Tests for guard VP creation."""
+
+import pytest
+
+from repro.core.guard import (
+    GuardVPFactory,
+    guard_coverage_probability,
+    straight_route,
+)
+from repro.core.viewmap import mutual_linkage
+from tests.conftest import run_linked_minute
+from repro.core.vehicle import VehicleAgent
+
+
+@pytest.fixture
+def minute_with_guards():
+    a = VehicleAgent(vehicle_id=1, seed=1, alpha=1.0)  # guard for every neighbour
+    b = VehicleAgent(vehicle_id=2, seed=2, alpha=1.0)
+    res_a, res_b = run_linked_minute(a, b)
+    return res_a, res_b
+
+
+class TestGuardCreation:
+    def test_pick_count(self):
+        factory = GuardVPFactory.with_seed(1, alpha=0.1)
+        assert factory.pick_count(0) == 0
+        assert factory.pick_count(1) == 1     # ceil(0.1)
+        assert factory.pick_count(10) == 1
+        assert factory.pick_count(11) == 2
+
+    def test_guard_count_matches_alpha(self, minute_with_guards):
+        res_a, _ = minute_with_guards
+        assert len(res_a.guard_vps) == 1  # one neighbour, alpha=1
+
+    def test_guard_trajectory_endpoints(self, minute_with_guards):
+        res_a, res_b = minute_with_guards
+        guard = res_a.guard_vps[0]
+        # starts at the neighbour's minute-start position...
+        assert guard.start_point.distance_to(res_b.actual_vp.start_point) < 1.0
+        # ...and ends at the creator's own final position
+        assert guard.end_point.distance_to(res_a.actual_vp.end_point) < 1.0
+
+    def test_guard_has_full_minute_of_digests(self, minute_with_guards):
+        res_a, _ = minute_with_guards
+        guard = res_a.guard_vps[0]
+        assert len(guard.digests) == 60
+        assert guard.minute == res_a.actual_vp.minute
+
+    def test_guard_mutually_linked_with_actual(self, minute_with_guards):
+        res_a, _ = minute_with_guards
+        guard = res_a.guard_vps[0]
+        assert mutual_linkage(guard, res_a.actual_vp)
+
+    def test_guard_has_fresh_identity(self, minute_with_guards):
+        res_a, res_b = minute_with_guards
+        guard = res_a.guard_vps[0]
+        assert guard.vp_id != res_a.actual_vp.vp_id
+        assert guard.vp_id != res_b.actual_vp.vp_id
+
+    def test_guard_file_sizes_plausible_and_increasing(self, minute_with_guards):
+        res_a, _ = minute_with_guards
+        sizes = [vd.file_size for vd in res_a.guard_vps[0].digests]
+        assert sizes == sorted(sizes)
+        assert 30_000_000 < sizes[-1] < 80_000_000  # ~50 MB per minute
+
+    def test_guard_vd_spacing_is_variable(self, minute_with_guards):
+        res_a, _ = minute_with_guards
+        pts = res_a.guard_vps[0].positions_array
+        import numpy as np
+
+        steps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        moving = steps[steps > 1e-9]
+        assert moving.std() > 0.0  # not perfectly even spacing
+
+    def test_no_neighbors_no_guards(self):
+        agent = VehicleAgent(vehicle_id=9, seed=9, alpha=1.0)
+        from repro.geo.geometry import Point
+
+        for i in range(60):
+            agent.emit(i + 1.0, Point(float(i), 0), minute=0)
+        res = agent.finalize_minute()
+        assert res.guard_vps == []
+
+
+class TestCoverageProbability:
+    def test_formula_monotone_in_time(self):
+        values = [guard_coverage_probability(0.1, 50, t) for t in (1, 3, 5, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_paper_design_point(self):
+        # alpha=0.1 pushes P_t below 0.01 within 5 minutes (dense traffic)
+        assert guard_coverage_probability(0.1, 50, 5) < 0.01
+
+    def test_larger_alpha_better_coverage(self):
+        weak = guard_coverage_probability(0.05, 30, 5)
+        strong = guard_coverage_probability(0.5, 30, 5)
+        assert strong < weak
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            guard_coverage_probability(0.0, 10, 5)
+        with pytest.raises(ValueError):
+            guard_coverage_probability(1.5, 10, 5)
+
+    def test_no_neighbors_never_covered(self):
+        assert guard_coverage_probability(0.1, 0, 5) == 1.0
+
+
+class TestStraightRoute:
+    def test_fallback_route(self):
+        from repro.geo.geometry import Point
+
+        route = straight_route(Point(0, 0), Point(10, 10))
+        assert route == [Point(0, 0), Point(10, 10)]

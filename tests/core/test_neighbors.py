@@ -1,0 +1,74 @@
+"""Tests for the neighbour table."""
+
+from repro.core.neighbors import NeighborTable
+from repro.core.viewdigest import VDGenerator, make_secret
+from repro.geo.geometry import Point
+
+
+def digest_stream(seed, n=5):
+    gen = VDGenerator(make_secret(seed))
+    return [gen.tick(float(i + 1), Point(float(i), 0), b"c") for i in range(n)]
+
+
+class TestNeighborTable:
+    def test_first_and_last_kept(self):
+        table = NeighborTable()
+        vds = digest_stream(1, n=5)
+        for vd in vds:
+            table.accept(vd)
+        record = table.get(vds[0].vp_id)
+        assert record.first == vds[0]
+        assert record.last == vds[-1]
+        assert record.digests() == [vds[0], vds[-1]]
+
+    def test_single_vd_record(self):
+        table = NeighborTable()
+        vd = digest_stream(2, n=1)[0]
+        table.accept(vd)
+        record = table.get(vd.vp_id)
+        assert record.digests() == [vd]
+
+    def test_contact_seconds(self):
+        table = NeighborTable()
+        for vd in digest_stream(3, n=10):
+            table.accept(vd)
+        record = table.records()[0]
+        assert record.contact_seconds == 9.0
+
+    def test_multiple_neighbors_tracked(self):
+        table = NeighborTable()
+        for seed in (1, 2, 3):
+            for vd in digest_stream(seed, n=2):
+                table.accept(vd)
+        assert len(table) == 3
+
+    def test_cap_rejects_overflow(self):
+        table = NeighborTable(max_neighbors=2)
+        for seed in (1, 2, 3, 4):
+            accepted = table.accept(digest_stream(seed, n=1)[0])
+            if seed <= 2:
+                assert accepted
+            else:
+                assert not accepted
+        assert len(table) == 2
+        assert table.rejected_over_cap == 2
+
+    def test_cap_does_not_block_known_neighbors(self):
+        table = NeighborTable(max_neighbors=1)
+        vds = digest_stream(5, n=3)
+        for vd in vds:
+            assert table.accept(vd)
+
+    def test_initial_location_exposed(self):
+        table = NeighborTable()
+        vd = digest_stream(6, n=1)[0]
+        table.accept(vd)
+        assert table.records()[0].initial_location == vd.initial_location
+
+    def test_clear_resets(self):
+        table = NeighborTable(max_neighbors=1)
+        table.accept(digest_stream(7, n=1)[0])
+        table.accept(digest_stream(8, n=1)[0])  # rejected
+        table.clear()
+        assert len(table) == 0
+        assert table.rejected_over_cap == 0

@@ -1,0 +1,81 @@
+"""Tests for the untraceable rewarding service."""
+
+import pytest
+
+from repro.core.rewarding import RewardService, claim_reward
+from repro.core.viewdigest import make_secret, vp_id_from_secret
+from repro.crypto.blind import BlindSigner
+from repro.crypto.cash import CashRegistry
+from repro.errors import CryptoError, ValidationError
+
+
+@pytest.fixture
+def service(rsa_keypair):
+    return RewardService(signer=BlindSigner(keypair=rsa_keypair))
+
+
+class TestRewardService:
+    def test_post_and_pending(self, service):
+        secret = make_secret(1)
+        vp_id = vp_id_from_secret(secret)
+        service.post_reward(vp_id, units=3)
+        assert service.pending_ids() == [vp_id]
+
+    def test_invalid_units_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.post_reward(b"\x01" * 16, units=0)
+
+    def test_duplicate_post_rejected(self, service):
+        service.post_reward(b"\x01" * 16, units=1)
+        with pytest.raises(ValidationError):
+            service.post_reward(b"\x01" * 16, units=1)
+
+    def test_ownership_proof_required(self, service):
+        secret = make_secret(2)
+        vp_id = vp_id_from_secret(secret)
+        service.post_reward(vp_id, units=2)
+        assert service.offered_units(vp_id, secret) == 2
+        with pytest.raises(CryptoError):
+            service.offered_units(vp_id, make_secret(3))
+
+    def test_unknown_grant_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.offered_units(b"\x09" * 16, make_secret(4))
+
+    def test_batch_size_enforced(self, service):
+        secret = make_secret(5)
+        vp_id = vp_id_from_secret(secret)
+        service.post_reward(vp_id, units=3)
+        with pytest.raises(ValidationError):
+            service.sign_blinded_batch(vp_id, secret, [1, 2])  # too few
+
+
+class TestClaimReward:
+    def test_full_claim_flow(self, service, rsa_keypair):
+        secret = make_secret(6)
+        vp_id = vp_id_from_secret(secret)
+        service.post_reward(vp_id, units=4)
+        cash = claim_reward(service, vp_id, secret, rng=9)
+        assert len(cash) == 4
+        registry = CashRegistry(public=rsa_keypair.public)
+        for unit in cash:
+            registry.redeem(unit)
+        assert registry.redeemed == 4
+
+    def test_reward_single_collection(self, service):
+        secret = make_secret(7)
+        vp_id = vp_id_from_secret(secret)
+        service.post_reward(vp_id, units=1)
+        claim_reward(service, vp_id, secret, rng=1)
+        with pytest.raises(ValidationError):
+            claim_reward(service, vp_id, secret, rng=2)
+
+    def test_cash_not_linkable_to_vp(self, service):
+        # no byte of the VP identifier appears in the minted cash
+        secret = make_secret(8)
+        vp_id = vp_id_from_secret(secret)
+        service.post_reward(vp_id, units=2)
+        cash = claim_reward(service, vp_id, secret, rng=3)
+        for unit in cash:
+            assert vp_id not in unit.message
+            assert secret not in unit.message

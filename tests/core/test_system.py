@@ -1,0 +1,92 @@
+"""Tests for the ViewMapSystem facade."""
+
+import pytest
+
+from repro.core.system import ViewMapSystem
+from repro.core.vehicle import VehicleAgent
+from repro.errors import ValidationError
+from repro.geo.geometry import Point
+from tests.conftest import run_linked_minute
+
+
+@pytest.fixture
+def populated_system():
+    """System with a trusted VP linked to one anonymous VP."""
+    system = ViewMapSystem(key_bits=512, seed=1)
+    police = VehicleAgent(vehicle_id=100, seed=10)
+    civilian = VehicleAgent(vehicle_id=1, seed=11)
+    res_police, res_civ = run_linked_minute(police, civilian)
+    system.ingest_trusted_vp(res_police.actual_vp)
+    system.ingest_vp(res_civ.actual_vp)
+    for guard in res_civ.guard_vps + res_police.guard_vps:
+        system.ingest_vp(guard)
+    return system, civilian, res_civ
+
+
+class TestIngestion:
+    def test_anonymous_cannot_claim_trusted(self):
+        system = ViewMapSystem(key_bits=512, seed=2)
+        agent = VehicleAgent(vehicle_id=1, seed=1)
+        for i in range(60):
+            agent.emit(i + 1.0, Point(float(i), 0), minute=0)
+        vp = agent.finalize_minute().actual_vp
+        vp.trusted = True
+        with pytest.raises(ValidationError):
+            system.ingest_vp(vp)
+
+
+class TestInvestigation:
+    def test_investigate_solicits_legit_vps(self, populated_system):
+        system, _, res_civ = populated_system
+        inv = system.investigate(Point(300, 25), minute=0, site_radius_m=1000)
+        assert res_civ.actual_vp.vp_id in inv.solicited
+        assert system.solicitations.is_requested(res_civ.actual_vp.vp_id)
+
+    def test_investigate_without_trusted_raises(self):
+        system = ViewMapSystem(key_bits=512, seed=3)
+        with pytest.raises(ValidationError):
+            system.investigate(Point(0, 0), minute=0)
+
+    def test_investigation_result_structure(self, populated_system):
+        system, _, _ = populated_system
+        inv = system.investigate(Point(300, 25), minute=0, site_radius_m=1000)
+        assert inv.minute == 0
+        assert inv.viewmap.node_count >= 2
+        assert inv.verification.top_site_vp is not None
+
+
+class TestVideoFlow:
+    def test_full_video_and_reward_flow(self, populated_system):
+        system, civilian, res_civ = populated_system
+        system.investigate(Point(300, 25), minute=0, site_radius_m=1000)
+        vp_id = res_civ.actual_vp.vp_id
+        assert system.receive_video(vp_id, res_civ.video.chunks)
+        system.human_review(vp_id)
+        assert vp_id in system.reviewed
+        assert system.rewards.pending_ids() == [vp_id]
+
+    def test_unsolicited_video_rejected(self, populated_system):
+        system, _, res_civ = populated_system
+        # no investigation ran: nothing solicited
+        assert not system.receive_video(res_civ.actual_vp.vp_id, res_civ.video.chunks)
+
+    def test_tampered_video_rejected(self, populated_system):
+        system, _, res_civ = populated_system
+        system.investigate(Point(300, 25), minute=0, site_radius_m=1000)
+        tampered = list(res_civ.video.chunks)
+        tampered[0] = b"forged"
+        assert not system.receive_video(res_civ.actual_vp.vp_id, tampered)
+
+    def test_review_requires_received_video(self, populated_system):
+        system, _, res_civ = populated_system
+        with pytest.raises(ValidationError):
+            system.human_review(res_civ.actual_vp.vp_id)
+
+    def test_guard_vp_solicitation_yields_no_video(self, populated_system):
+        # guard VPs may be solicited, but no owner can produce the video:
+        # vehicles deleted them and their hashes are random
+        system, civilian, res_civ = populated_system
+        inv = system.investigate(Point(300, 25), minute=0, site_radius_m=1000)
+        guard_ids = [g.vp_id for g in res_civ.guard_vps if g.vp_id in inv.solicited]
+        for guard_id in guard_ids:
+            assert not system.receive_video(guard_id, res_civ.video.chunks)

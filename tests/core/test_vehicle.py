@@ -1,0 +1,113 @@
+"""Tests for the vehicle agent."""
+
+import pytest
+
+from repro.core.vehicle import VehicleAgent, make_default_chunk_fn
+from repro.core.viewdigest import VDGenerator, make_secret
+from repro.errors import ValidationError
+from repro.geo.geometry import Point
+from tests.conftest import run_linked_minute
+
+
+class TestEmit:
+    def test_emit_starts_recording(self):
+        agent = VehicleAgent(vehicle_id=1, seed=1)
+        assert not agent.recording
+        agent.emit(1.0, Point(0, 0), minute=0)
+        assert agent.recording
+        assert agent.current_vp_id is not None
+
+    def test_finalize_without_recording_raises(self):
+        agent = VehicleAgent(vehicle_id=1, seed=1)
+        with pytest.raises(ValidationError):
+            agent.finalize_minute()
+
+    def test_default_chunks_differ_per_vehicle(self):
+        fn1 = make_default_chunk_fn(1)
+        fn2 = make_default_chunk_fn(2)
+        assert fn1(0, 1) != fn2(0, 1)
+        assert fn1(0, 1) == fn1(0, 1)
+
+
+class TestReceive:
+    def test_rejects_own_echo(self):
+        agent = VehicleAgent(vehicle_id=1, seed=1)
+        vd = agent.emit(1.0, Point(0, 0), minute=0)
+        assert not agent.receive(vd, 1.0, Point(0, 0))
+
+    def test_rejects_out_of_range(self):
+        a = VehicleAgent(vehicle_id=1, seed=1)
+        b = VehicleAgent(vehicle_id=2, seed=2)
+        vd = a.emit(1.0, Point(0, 0), minute=0)
+        b.emit(1.0, Point(800, 0), minute=0)
+        assert not b.receive(vd, 1.0, Point(800, 0))
+
+    def test_rejects_stale_time(self):
+        a = VehicleAgent(vehicle_id=1, seed=1)
+        b = VehicleAgent(vehicle_id=2, seed=2)
+        vd = a.emit(1.0, Point(0, 0), minute=0)
+        assert not b.receive(vd, 10.0, Point(50, 0))
+
+    def test_accepts_valid_neighbor(self):
+        a = VehicleAgent(vehicle_id=1, seed=1)
+        b = VehicleAgent(vehicle_id=2, seed=2)
+        vd = a.emit(1.0, Point(0, 0), minute=0)
+        assert b.receive(vd, 1.0, Point(50, 0))
+        assert len(b.neighbors) == 1
+
+
+class TestFinalize:
+    def test_minute_result_contents(self, linked_pair):
+        _, _, res_a, res_b = linked_pair
+        assert len(res_a.actual_vp.digests) == 60
+        assert res_a.neighbor_count == 1
+        assert res_a.video.vp_id == res_a.actual_vp.vp_id
+        assert len(res_a.video.chunks) == 60
+
+    def test_state_cleared_after_finalize(self, linked_pair):
+        a, _, _, _ = linked_pair
+        assert not a.recording
+        assert len(a.neighbors) == 0
+
+    def test_video_archived(self, linked_pair):
+        a, _, res_a, _ = linked_pair
+        assert a.video_for(res_a.actual_vp.vp_id) is res_a.video
+        assert a.video_for(b"\x00" * 16) is None
+
+    def test_consecutive_minutes_have_distinct_ids(self):
+        a = VehicleAgent(vehicle_id=1, seed=1)
+        b = VehicleAgent(vehicle_id=2, seed=2)
+        res0, _ = run_linked_minute(a, b, minute=0)
+        res1, _ = run_linked_minute(a, b, minute=1)
+        assert res0.actual_vp.vp_id != res1.actual_vp.vp_id
+        assert res1.actual_vp.minute == 1
+
+    def test_empty_minute_rejected(self):
+        agent = VehicleAgent(vehicle_id=1, seed=1)
+        agent._generator = VDGenerator(make_secret(1))
+        with pytest.raises(ValidationError):
+            agent.finalize_minute()
+
+
+class TestRunMinute:
+    def test_run_minute_convenience(self):
+        agent = VehicleAgent(vehicle_id=5, seed=5)
+        positions = [Point(float(i), 0) for i in range(60)]
+        res = agent.run_minute(0.0, positions, minute=0)
+        assert len(res.actual_vp.digests) == 60
+        assert res.neighbor_count == 0
+
+    def test_run_minute_with_incoming(self):
+        src = VehicleAgent(vehicle_id=6, seed=6)
+        vds = {}
+        for i in range(60):
+            vds[i] = [src.emit(i + 1.0, Point(float(i), 10.0), minute=0)]
+        agent = VehicleAgent(vehicle_id=7, seed=7)
+        positions = [Point(float(i), 0) for i in range(60)]
+        res = agent.run_minute(0.0, positions, incoming=vds, minute=0)
+        assert res.neighbor_count == 1
+
+    def test_wrong_position_count_rejected(self):
+        agent = VehicleAgent(vehicle_id=8, seed=8)
+        with pytest.raises(ValidationError):
+            agent.run_minute(0.0, [Point(0, 0)] * 59)

@@ -1,0 +1,126 @@
+"""Tests for view digests and the VD generator."""
+
+import pytest
+
+from repro.constants import VD_MESSAGE_BYTES
+from repro.core.viewdigest import (
+    VDGenerator,
+    ViewDigest,
+    make_secret,
+    validate_incoming_vd,
+    vp_id_from_secret,
+)
+from repro.errors import ValidationError, WireFormatError
+from repro.geo.geometry import Point
+
+
+def sample_vd(**overrides):
+    fields = dict(
+        second_index=1,
+        t=1.0,
+        location=(100.0, 200.0),
+        file_size=870_000,
+        initial_location=(100.0, 200.0),
+        vp_id=bytes(16),
+        chain_hash=b"\x01" * 16,
+    )
+    fields.update(overrides)
+    return ViewDigest(**fields)
+
+
+class TestViewDigest:
+    def test_wire_size_is_72_bytes(self):
+        assert len(sample_vd().pack()) == VD_MESSAGE_BYTES == 72
+
+    def test_pack_unpack_roundtrip(self):
+        vd = sample_vd()
+        restored = ViewDigest.unpack(vd.pack())
+        assert restored == vd
+
+    def test_bad_wire_length_rejected(self):
+        with pytest.raises(WireFormatError):
+            ViewDigest.unpack(b"\x00" * 71)
+
+    def test_invalid_second_index_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_vd(second_index=0)
+        with pytest.raises(ValidationError):
+            sample_vd(second_index=61)
+
+    def test_invalid_id_or_hash_length_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_vd(vp_id=b"short")
+        with pytest.raises(ValidationError):
+            sample_vd(chain_hash=b"short")
+
+    def test_bloom_key_is_wire_bytes(self):
+        vd = sample_vd()
+        assert vd.bloom_key() == vd.pack()
+
+
+class TestSecrets:
+    def test_secret_is_8_bytes(self):
+        assert len(make_secret(1)) == 8
+
+    def test_vp_id_is_hash_of_secret(self):
+        secret = make_secret(2)
+        assert len(vp_id_from_secret(secret)) == 16
+        assert vp_id_from_secret(secret) == vp_id_from_secret(secret)
+
+    def test_different_secrets_different_ids(self):
+        assert vp_id_from_secret(make_secret(1)) != vp_id_from_secret(make_secret(2))
+
+
+class TestVDGenerator:
+    def test_emits_sequential_digests(self):
+        gen = VDGenerator(make_secret(3))
+        for i in range(1, 6):
+            vd = gen.tick(float(i), Point(10.0 * i, 0), b"chunk")
+            assert vd.second_index == i
+            assert vd.vp_id == gen.vp_id
+        assert gen.seconds_recorded == 5
+
+    def test_file_size_accumulates(self):
+        gen = VDGenerator(make_secret(4))
+        vd1 = gen.tick(1.0, Point(0, 0), b"abcd")
+        vd2 = gen.tick(2.0, Point(1, 0), b"efghij")
+        assert vd1.file_size == 4
+        assert vd2.file_size == 10
+
+    def test_initial_location_pinned(self):
+        gen = VDGenerator(make_secret(5))
+        gen.tick(1.0, Point(7.0, 8.0), b"x")
+        vd2 = gen.tick(2.0, Point(99.0, 99.0), b"y")
+        assert vd2.initial_location[0] == pytest.approx(7.0)
+        assert vd2.initial_location[1] == pytest.approx(8.0)
+
+    def test_complete_after_60_ticks(self):
+        gen = VDGenerator(make_secret(6))
+        for i in range(60):
+            gen.tick(float(i + 1), Point(float(i), 0), b"c")
+        assert gen.complete
+        with pytest.raises(ValidationError):
+            gen.tick(61.0, Point(0, 0), b"c")
+
+    def test_bad_secret_length_rejected(self):
+        with pytest.raises(ValidationError):
+            VDGenerator(b"short")
+
+    def test_chain_hash_changes_every_second(self):
+        gen = VDGenerator(make_secret(7))
+        hashes = {gen.tick(float(i + 1), Point(0, 0), b"c").chain_hash for i in range(10)}
+        assert len(hashes) == 10
+
+
+class TestIncomingValidation:
+    def test_accepts_fresh_nearby(self):
+        vd = sample_vd()
+        assert validate_incoming_vd(vd, now=1.2, receiver_position=Point(150, 200), max_range_m=400)
+
+    def test_rejects_stale_time(self):
+        vd = sample_vd()
+        assert not validate_incoming_vd(vd, now=5.0, receiver_position=Point(150, 200), max_range_m=400)
+
+    def test_rejects_far_location(self):
+        vd = sample_vd()
+        assert not validate_incoming_vd(vd, now=1.0, receiver_position=Point(900, 200), max_range_m=400)

@@ -1,0 +1,70 @@
+"""Tests for Chaum blind signatures."""
+
+import pytest
+
+from repro.crypto.blind import (
+    BlindSigner,
+    blind,
+    make_blinding_secret,
+    unblind,
+    verify_signature,
+)
+from repro.errors import CryptoError
+
+
+class TestBlindingRoundtrip:
+    def test_blind_sign_unblind_verifies(self, rsa_keypair):
+        public = rsa_keypair.public
+        signer = BlindSigner(keypair=rsa_keypair)
+        message = b"one unit of virtual cash"
+        r = make_blinding_secret(public, rng=3)
+        blinded = blind(public, public.hash_to_int(message), r)
+        sig = unblind(public, signer.sign_blinded(blinded), r)
+        assert verify_signature(public, message, sig)
+
+    def test_signer_never_sees_message(self, rsa_keypair):
+        # the blinded value differs from the message digest itself
+        public = rsa_keypair.public
+        m = public.hash_to_int(b"secret message")
+        r = make_blinding_secret(public, rng=4)
+        assert blind(public, m, r) != m
+
+    def test_different_blinding_secrets_give_different_blinds(self, rsa_keypair):
+        public = rsa_keypair.public
+        m = public.hash_to_int(b"msg")
+        r1 = make_blinding_secret(public, rng=1)
+        r2 = make_blinding_secret(public, rng=2)
+        assert blind(public, m, r1) != blind(public, m, r2)
+
+    def test_unblinded_signature_equals_direct_signature(self, rsa_keypair):
+        # unblind(sign(blind(m))) == sign(m): unlinkability holds because
+        # the system cannot connect the two without knowing r
+        public = rsa_keypair.public
+        m = public.hash_to_int(b"msg")
+        r = make_blinding_secret(public, rng=5)
+        via_blind = unblind(public, rsa_keypair.sign_raw(blind(public, m, r)), r)
+        assert via_blind == rsa_keypair.sign_raw(m)
+
+    def test_wrong_blinding_secret_breaks_signature(self, rsa_keypair):
+        public = rsa_keypair.public
+        message = b"msg"
+        r = make_blinding_secret(public, rng=6)
+        wrong_r = make_blinding_secret(public, rng=7)
+        blinded = blind(public, public.hash_to_int(message), r)
+        sig = unblind(public, rsa_keypair.sign_raw(blinded), wrong_r)
+        assert not verify_signature(public, message, sig)
+
+    def test_out_of_range_inputs_rejected(self, rsa_keypair):
+        public = rsa_keypair.public
+        with pytest.raises(CryptoError):
+            blind(public, public.n + 1, 3)
+        signer = BlindSigner(keypair=rsa_keypair)
+        with pytest.raises(CryptoError):
+            signer.sign_blinded(public.n + 1)
+
+    def test_issued_counter(self, rsa_keypair):
+        signer = BlindSigner(keypair=rsa_keypair)
+        assert signer.issued == 0
+        signer.sign_blinded(12345)
+        signer.sign_blinded(67890)
+        assert signer.issued == 2

@@ -1,0 +1,58 @@
+"""Tests for virtual cash and double-spend detection."""
+
+import pytest
+
+from repro.crypto.blind import BlindSigner, blind, make_blinding_secret, unblind
+from repro.crypto.cash import CashRegistry, VirtualCash
+from repro.errors import CryptoError, DoubleSpendError
+
+
+def mint_unit(keypair, rng_seed=0):
+    """Mint one valid unit through the full blind flow."""
+    public = keypair.public
+    signer = BlindSigner(keypair=keypair)
+    message = VirtualCash.random_message(rng_seed)
+    r = make_blinding_secret(public, rng=rng_seed + 1)
+    sig = unblind(public, signer.sign_blinded(blind(public, public.hash_to_int(message), r)), r)
+    return VirtualCash(message=message, signature=sig)
+
+
+class TestVirtualCash:
+    def test_minted_unit_verifies(self, rsa_keypair):
+        assert mint_unit(rsa_keypair).verify(rsa_keypair.public)
+
+    def test_forged_unit_fails(self, rsa_keypair):
+        forged = VirtualCash(message=b"free money", signature=12345)
+        assert not forged.verify(rsa_keypair.public)
+
+    def test_random_messages_unique(self):
+        messages = {VirtualCash.random_message(i) for i in range(100)}
+        assert len(messages) == 100
+
+
+class TestCashRegistry:
+    def test_redeem_accepts_valid_unit(self, rsa_keypair):
+        registry = CashRegistry(public=rsa_keypair.public)
+        unit = mint_unit(rsa_keypair)
+        registry.redeem(unit)
+        assert registry.redeemed == 1
+        assert registry.is_spent(unit)
+
+    def test_double_spend_rejected(self, rsa_keypair):
+        registry = CashRegistry(public=rsa_keypair.public)
+        unit = mint_unit(rsa_keypair)
+        registry.redeem(unit)
+        with pytest.raises(DoubleSpendError):
+            registry.redeem(unit)
+        assert registry.redeemed == 1
+
+    def test_forged_unit_rejected(self, rsa_keypair):
+        registry = CashRegistry(public=rsa_keypair.public)
+        with pytest.raises(CryptoError):
+            registry.redeem(VirtualCash(message=b"fake", signature=99))
+
+    def test_distinct_units_both_redeem(self, rsa_keypair):
+        registry = CashRegistry(public=rsa_keypair.public)
+        registry.redeem(mint_unit(rsa_keypair, rng_seed=10))
+        registry.redeem(mint_unit(rsa_keypair, rng_seed=20))
+        assert registry.redeemed == 2

@@ -1,0 +1,98 @@
+"""Tests for truncated digests and hash chains."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    CascadedHashChain,
+    NormalHashChain,
+    digest16,
+    digest32,
+    replay_chain,
+)
+from repro.errors import DigestChainError
+
+
+class TestDigests:
+    def test_digest16_length(self):
+        assert len(digest16(b"hello")) == 16
+
+    def test_digest32_length(self):
+        assert len(digest32(b"hello")) == 32
+
+    def test_digest16_is_prefix_of_digest32(self):
+        assert digest32(b"x")[:16] == digest16(b"x")
+
+    def test_multi_part_equals_concatenation(self):
+        assert digest16(b"ab", b"cd") == digest16(b"abcd")
+
+    def test_different_inputs_differ(self):
+        assert digest16(b"a") != digest16(b"b")
+
+    def test_empty_input_ok(self):
+        assert len(digest16()) == 16
+
+
+class TestCascadedHashChain:
+    def test_seed_must_be_16_bytes(self):
+        with pytest.raises(DigestChainError):
+            CascadedHashChain(b"short")
+
+    def test_initial_head_is_seed(self):
+        chain = CascadedHashChain(bytes(16))
+        assert chain.current == bytes(16)
+        assert chain.steps == 0
+
+    def test_extend_advances_head(self):
+        chain = CascadedHashChain(bytes(16))
+        h1 = chain.extend(1.0, (0.0, 0.0), 100, b"chunk")
+        assert h1 == chain.current
+        assert chain.steps == 1
+        h2 = chain.extend(2.0, (0.0, 0.0), 200, b"chunk2")
+        assert h2 != h1
+
+    def test_deterministic_replay(self):
+        seconds = [(float(i), (1.0 * i, 2.0), 100 * i, f"c{i}".encode()) for i in range(1, 6)]
+        heads_a = replay_chain(bytes(16), seconds)
+        heads_b = replay_chain(bytes(16), seconds)
+        assert heads_a == heads_b
+        assert len(heads_a) == 5
+
+    def test_chunk_change_breaks_chain(self):
+        seconds = [(1.0, (0.0, 0.0), 10, b"aa"), (2.0, (0.0, 0.0), 20, b"bb")]
+        original = replay_chain(bytes(16), seconds)
+        tampered = replay_chain(bytes(16), [seconds[0], (2.0, (0.0, 0.0), 20, b"XX")])
+        assert original[0] == tampered[0]
+        assert original[1] != tampered[1]
+
+    def test_metadata_change_breaks_chain(self):
+        base = replay_chain(bytes(16), [(1.0, (0.0, 0.0), 10, b"aa")])
+        moved = replay_chain(bytes(16), [(1.0, (5.0, 0.0), 10, b"aa")])
+        assert base != moved
+
+    def test_seed_change_breaks_chain(self):
+        a = replay_chain(bytes(16), [(1.0, (0.0, 0.0), 10, b"aa")])
+        b = replay_chain(b"\x01" * 16, [(1.0, (0.0, 0.0), 10, b"aa")])
+        assert a != b
+
+
+class TestNormalHashChain:
+    def test_equivalent_inputs_give_stable_output(self):
+        a = NormalHashChain(bytes(16))
+        b = NormalHashChain(bytes(16))
+        ha = a.extend(1.0, (0.0, 0.0), 10, b"chunk")
+        hb = b.extend(1.0, (0.0, 0.0), 10, b"chunk")
+        assert ha == hb
+
+    def test_buffer_grows_linearly(self):
+        chain = NormalHashChain(bytes(16))
+        for i in range(1, 5):
+            chain.extend(float(i), (0.0, 0.0), i * 4, b"abcd")
+            assert chain.total_bytes == i * 4
+
+    def test_differs_from_cascaded(self):
+        # the two schemes are distinct constructions over the same inputs
+        normal = NormalHashChain(bytes(16))
+        cascaded = CascadedHashChain(bytes(16))
+        hn = normal.extend(1.0, (0.0, 0.0), 4, b"data")
+        hc = cascaded.extend(1.0, (0.0, 0.0), 4, b"data")
+        assert len(hn) == len(hc) == 16

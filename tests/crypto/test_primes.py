@@ -1,0 +1,49 @@
+"""Tests for Miller-Rabin primality and prime generation."""
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+
+class TestMillerRabin:
+    def test_small_primes_accepted(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_probable_prime(p), p
+
+    def test_small_composites_rejected(self):
+        for n in (0, 1, 4, 6, 9, 15, 100, 7917):
+            assert not is_probable_prime(n), n
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that Miller-Rabin must catch
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(n), n
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime
+        assert is_probable_prime(2**127 - 1)
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**127 - 1) * 3)
+
+
+class TestGeneratePrime:
+    def test_requested_bit_length(self):
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng=bits)
+            assert p.bit_length() == bits
+
+    def test_result_is_odd_and_prime(self):
+        p = generate_prime(128, rng=7)
+        assert p % 2 == 1
+        assert is_probable_prime(p)
+
+    def test_deterministic_under_seed(self):
+        assert generate_prime(128, rng=5) == generate_prime(128, rng=5)
+
+    def test_different_seeds_differ(self):
+        assert generate_prime(128, rng=1) != generate_prime(128, rng=2)
+
+    def test_tiny_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)

@@ -1,0 +1,66 @@
+"""Tests for the RSA implementation."""
+
+import pytest
+
+from repro.crypto.rsa import RSAKeyPair
+from repro.errors import CryptoError
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, rsa_keypair):
+        assert abs(rsa_keypair.public.bits - 512) <= 2
+
+    def test_key_relation(self, rsa_keypair):
+        # e*d == 1 mod phi(n)
+        phi = (rsa_keypair.p - 1) * (rsa_keypair.q - 1)
+        assert (rsa_keypair.public.e * rsa_keypair.d) % phi == 1
+
+    def test_modulus_is_pq(self, rsa_keypair):
+        assert rsa_keypair.p * rsa_keypair.q == rsa_keypair.public.n
+
+    def test_deterministic_generation(self):
+        a = RSAKeyPair.generate(bits=256, rng=9)
+        b = RSAKeyPair.generate(bits=256, rng=9)
+        assert a.public.n == b.public.n
+
+
+class TestSignVerify:
+    def test_sign_digest_roundtrip(self, rsa_keypair):
+        sig = rsa_keypair.sign_digest(b"message")
+        assert rsa_keypair.public.verify_raw(
+            rsa_keypair.public.hash_to_int(b"message"), sig
+        )
+
+    def test_wrong_message_fails(self, rsa_keypair):
+        sig = rsa_keypair.sign_digest(b"message")
+        assert not rsa_keypair.public.verify_raw(
+            rsa_keypair.public.hash_to_int(b"other"), sig
+        )
+
+    def test_tampered_signature_fails(self, rsa_keypair):
+        sig = rsa_keypair.sign_digest(b"message")
+        assert not rsa_keypair.public.verify_raw(
+            rsa_keypair.public.hash_to_int(b"message"), sig + 1
+        )
+
+    def test_out_of_range_signature_rejected(self, rsa_keypair):
+        m = rsa_keypair.public.hash_to_int(b"m")
+        assert not rsa_keypair.public.verify_raw(m, rsa_keypair.public.n + 5)
+        assert not rsa_keypair.public.verify_raw(m, -1)
+
+    def test_sign_raw_range_checked(self, rsa_keypair):
+        with pytest.raises(CryptoError):
+            rsa_keypair.sign_raw(rsa_keypair.public.n)
+        with pytest.raises(CryptoError):
+            rsa_keypair.sign_raw(-1)
+
+    def test_homomorphism(self, rsa_keypair):
+        # sig(a)*sig(b) == sig(a*b) mod n — the property blinding exploits
+        n = rsa_keypair.public.n
+        a, b = 12345, 67890
+        sig_ab = rsa_keypair.sign_raw((a * b) % n)
+        assert (rsa_keypair.sign_raw(a) * rsa_keypair.sign_raw(b)) % n == sig_ab
+
+    def test_hash_to_int_in_range(self, rsa_keypair):
+        for msg in (b"", b"a", b"long message " * 100):
+            assert 0 <= rsa_keypair.public.hash_to_int(msg) < rsa_keypair.public.n

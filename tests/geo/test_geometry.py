@@ -1,0 +1,87 @@
+"""Tests for planar geometry primitives."""
+
+import pytest
+
+from repro.geo.geometry import (
+    Point,
+    Rect,
+    distance,
+    segment_intersects_rect,
+    segments_intersect,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_function_accepts_tuples(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+        assert distance(Point(0, 0), (3, 4)) == 5.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_iter_and_tuple(self):
+        assert tuple(Point(1, 2)) == (1, 2)
+        assert Point(1, 2).to_tuple() == (1, 2)
+
+
+class TestSegmentsIntersect:
+    def test_crossing_segments(self):
+        assert segments_intersect(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0))
+
+    def test_touching_endpoint(self):
+        assert segments_intersect(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+
+    def test_near_miss(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(1.01, 0.01), Point(2, 1)
+        )
+
+
+class TestRect:
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_contains(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains(Point(5, 5))
+        assert rect.contains(Point(0, 0))
+        assert not rect.contains(Point(11, 5))
+        assert rect.contains(Point(10.5, 5), eps=1.0)
+
+    def test_dimensions(self):
+        rect = Rect(1, 2, 4, 8)
+        assert rect.width == 3 and rect.height == 6
+        assert rect.center == Point(2.5, 5)
+
+    def test_corners_and_edges(self):
+        rect = Rect(0, 0, 1, 1)
+        assert len(rect.corners()) == 4
+        assert len(rect.edges()) == 4
+
+
+class TestSegmentRect:
+    def test_passing_through(self):
+        rect = Rect(2, 2, 4, 4)
+        assert segment_intersects_rect(Point(0, 3), Point(6, 3), rect)
+
+    def test_endpoint_inside(self):
+        rect = Rect(2, 2, 4, 4)
+        assert segment_intersects_rect(Point(3, 3), Point(10, 10), rect)
+
+    def test_clear_miss(self):
+        rect = Rect(2, 2, 4, 4)
+        assert not segment_intersects_rect(Point(0, 0), Point(1, 6), rect)
+
+    def test_grazing_corner(self):
+        rect = Rect(2, 2, 4, 4)
+        assert segment_intersects_rect(Point(0, 4), Point(4, 0), rect)

@@ -1,0 +1,64 @@
+"""Tests for obstacle maps and line-of-sight models."""
+
+from repro.geo.geometry import Point, Rect
+from repro.geo.obstacles import Building, ObstacleKind, ObstacleMap, corridor_los
+
+
+class TestObstacleMap:
+    def make_map(self):
+        omap = ObstacleMap()
+        omap.add(Building(Rect(10, 10, 20, 20)))
+        omap.add(Building(Rect(50, 0, 60, 30), kind=ObstacleKind.TUNNEL))
+        return omap
+
+    def test_clear_line(self):
+        omap = self.make_map()
+        assert omap.is_los(Point(0, 0), Point(5, 30))
+
+    def test_blocked_line(self):
+        omap = self.make_map()
+        assert not omap.is_los(Point(0, 15), Point(30, 15))
+
+    def test_blockers_listed(self):
+        omap = self.make_map()
+        blockers = omap.blockers(Point(0, 15), Point(100, 15))
+        assert len(blockers) == 2
+
+    def test_attenuation_sums(self):
+        omap = self.make_map()
+        att = omap.attenuation_db(Point(0, 15), Point(100, 15))
+        assert att == ObstacleKind.BUILDING.attenuation_db + ObstacleKind.TUNNEL.attenuation_db
+
+    def test_kinds_have_distinct_attenuations(self):
+        values = {kind.attenuation_db for kind in ObstacleKind}
+        assert len(values) == len(ObstacleKind)
+
+    def test_vehicle_blockage_weaker_than_building(self):
+        assert ObstacleKind.VEHICLE.attenuation_db < ObstacleKind.BUILDING.attenuation_db
+
+
+class TestCorridorLos:
+    BLOCK = 200.0
+
+    def test_same_vertical_street(self):
+        assert corridor_los(Point(200, 50), Point(200, 900), self.BLOCK)
+
+    def test_same_horizontal_street(self):
+        assert corridor_los(Point(50, 400), Point(950, 400), self.BLOCK)
+
+    def test_different_streets_blocked(self):
+        # mid-block positions on different streets: building between
+        assert not corridor_los(Point(200, 100), Point(400, 300), self.BLOCK)
+
+    def test_close_vehicles_always_los(self):
+        assert corridor_los(Point(190, 100), Point(210, 110), self.BLOCK)
+
+    def test_street_halfwidth_respected(self):
+        # 10 m off the street axis still counts as on-street
+        assert corridor_los(Point(210, 50), Point(205, 900), self.BLOCK)
+        # 30 m off does not
+        assert not corridor_los(Point(230, 50), Point(230, 900), self.BLOCK)
+
+    def test_symmetry(self):
+        a, b = Point(200, 50), Point(400, 300)
+        assert corridor_los(a, b, self.BLOCK) == corridor_los(b, a, self.BLOCK)

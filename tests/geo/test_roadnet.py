@@ -1,0 +1,55 @@
+"""Tests for road-network grids."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.geo.geometry import Point
+from repro.geo.roadnet import grid_city
+
+
+class TestGridCity:
+    def test_node_and_edge_counts(self):
+        net = grid_city(1000, 1000, block_m=200)
+        # 6x6 intersections, 2 * 6 * 5 streets
+        assert net.node_count == 36
+        assert net.edge_count == 60
+
+    def test_positions_on_grid(self, small_grid):
+        for node in small_grid.graph.nodes:
+            p = small_grid.position(node)
+            assert p.x % 200 == 0 and p.y % 200 == 0
+
+    def test_edge_lengths_equal_block(self, small_grid):
+        for a, b in small_grid.graph.edges:
+            assert small_grid.edge_length(a, b) == 200.0
+
+    def test_nearest_node(self, small_grid):
+        assert small_grid.nearest_node(Point(10, 10)) == (0, 0)
+        assert small_grid.nearest_node(Point(390, 210)) == (2, 1)
+
+    def test_random_node_is_member(self, small_grid):
+        for seed in range(10):
+            assert small_grid.random_node(seed) in small_grid.graph.nodes
+
+    def test_random_point_on_edge_lies_on_street(self, small_grid):
+        for seed in range(10):
+            p = small_grid.random_point_on_edge(seed)
+            on_street = (p.x % 200 < 1e-6) or (p.y % 200 < 1e-6)
+            assert on_street
+
+    def test_neighbors_are_adjacent(self, small_grid):
+        for nbr in small_grid.neighbors((1, 1)):
+            dx = abs(nbr[0] - 1)
+            dy = abs(nbr[1] - 1)
+            assert dx + dy == 1
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(SimulationError):
+            grid_city(0, 1000)
+        with pytest.raises(SimulationError):
+            grid_city(1000, 1000, block_m=-5)
+
+    def test_connectivity(self, small_grid):
+        import networkx as nx
+
+        assert nx.is_connected(small_grid.graph)

@@ -1,0 +1,95 @@
+"""Tests for road routing and polyline sampling."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geo.geometry import Point
+from repro.geo.routing import (
+    Router,
+    make_grid_route_fn,
+    polyline_length,
+    polyline_point_at,
+    route_polyline,
+)
+
+
+class TestRouter:
+    def test_route_nodes_shortest(self, small_grid):
+        router = Router(small_grid)
+        path = router.route_nodes((0, 0), (2, 0))
+        assert path == [(0, 0), (1, 0), (2, 0)]
+
+    def test_route_points_endpoints_exact(self, small_grid):
+        router = Router(small_grid)
+        start, end = Point(10, 15), Point(790, 615)
+        polyline = router.route_points(start, end)
+        assert polyline[0] == start
+        assert polyline[-1] == end
+        assert len(polyline) >= 3
+
+    def test_unknown_node_raises(self, small_grid):
+        router = Router(small_grid)
+        with pytest.raises(RoutingError):
+            router.route_nodes((0, 0), (99, 99))
+
+    def test_route_length_positive(self, small_grid):
+        router = Router(small_grid)
+        polyline = router.route_points(Point(0, 0), Point(800, 800))
+        assert router.route_length(polyline) >= 1600.0  # at least Manhattan
+
+
+class TestPolylineSampling:
+    def test_fraction_endpoints(self):
+        line = [Point(0, 0), Point(10, 0)]
+        assert polyline_point_at(line, 0.0) == Point(0, 0)
+        assert polyline_point_at(line, 1.0) == Point(10, 0)
+
+    def test_midpoint_on_multi_segment(self):
+        line = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        mid = polyline_point_at(line, 0.5)
+        assert mid == Point(10, 0)
+
+    def test_monotone_fractions_monotone_arclength(self):
+        line = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        samples = route_polyline(line, [0.1, 0.4, 0.9])
+        d = [polyline_length([line[0], s]) for s in samples[:1]]
+        assert samples[0].x < samples[1].x + samples[1].y
+        assert samples[2].y > 0
+
+    def test_out_of_range_fractions_clamped(self):
+        line = [Point(0, 0), Point(10, 0)]
+        assert route_polyline(line, [-1.0])[0] == Point(0, 0)
+        assert route_polyline(line, [2.0])[0] == Point(10, 0)
+
+    def test_single_point_polyline(self):
+        assert route_polyline([Point(1, 1)], [0.5]) == [Point(1, 1)]
+
+    def test_empty_polyline_raises(self):
+        with pytest.raises(RoutingError):
+            route_polyline([], [0.5])
+
+    def test_polyline_length(self):
+        line = [Point(0, 0), Point(3, 4), Point(3, 14)]
+        assert polyline_length(line) == 15.0
+
+
+class TestGridRoute:
+    def test_l_shaped_route(self):
+        route_fn = make_grid_route_fn(200.0)
+        polyline = route_fn(Point(0, 100), Point(400, 300))
+        assert polyline[0] == Point(0, 100)
+        assert polyline[-1] == Point(400, 300)
+        assert len(polyline) == 3  # one corner
+
+    def test_straight_route_has_no_corner(self):
+        route_fn = make_grid_route_fn(200.0)
+        polyline = route_fn(Point(0, 0), Point(400, 0))
+        # corner coincides with an endpoint, so it is dropped
+        assert len(polyline) == 2
+
+    def test_route_length_at_least_manhattan(self):
+        route_fn = make_grid_route_fn(200.0)
+        start, end = Point(20, 200), Point(600, 420)
+        polyline = route_fn(start, end)
+        manhattan = abs(end.x - start.x) + abs(end.y - start.y)
+        assert polyline_length(polyline) >= 0.7 * manhattan

@@ -1,0 +1,72 @@
+"""Tests for timestamped trajectories."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.geometry import Point
+from repro.geo.trajectory import Trajectory
+
+
+def straight(n=5):
+    return Trajectory(times=[float(i) for i in range(n)], points=[Point(10.0 * i, 0) for i in range(n)])
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory(times=[0.0], points=[])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory(times=[0.0, 0.0], points=[Point(0, 0), Point(1, 1)])
+
+    def test_append_enforces_order(self):
+        traj = straight(3)
+        with pytest.raises(ValidationError):
+            traj.append(1.0, Point(0, 0))
+        traj.append(10.0, Point(100, 0))
+        assert len(traj) == 4
+
+
+class TestInterpolation:
+    def test_exact_samples(self):
+        traj = straight()
+        assert traj.at(2.0) == Point(20, 0)
+
+    def test_linear_between_samples(self):
+        traj = straight()
+        assert traj.at(2.5) == Point(25, 0)
+
+    def test_clamped_outside_range(self):
+        traj = straight()
+        assert traj.at(-5.0) == Point(0, 0)
+        assert traj.at(99.0) == Point(40, 0)
+
+    def test_empty_trajectory_raises(self):
+        with pytest.raises(ValidationError):
+            Trajectory().at(0.0)
+
+
+class TestQueries:
+    def test_endpoints(self):
+        traj = straight()
+        assert traj.start_time == 0.0 and traj.end_time == 4.0
+        assert traj.start_point == Point(0, 0) and traj.end_point == Point(40, 0)
+
+    def test_length(self):
+        assert straight().length() == 40.0
+
+    def test_resample(self):
+        resampled = straight().resample([0.5, 1.5])
+        assert len(resampled) == 2
+        assert resampled.points[0] == Point(5, 0)
+
+    def test_slice(self):
+        sliced = straight().slice(1.0, 3.0)
+        assert sliced.times == [1.0, 2.0, 3.0]
+
+    def test_empty_queries_raise(self):
+        empty = Trajectory()
+        for attr in ("start_time", "end_time", "start_point", "end_point"):
+            with pytest.raises(ValidationError):
+                getattr(empty, attr)

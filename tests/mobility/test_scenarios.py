@@ -1,0 +1,40 @@
+"""Tests for canned mobility scenarios."""
+
+import numpy as np
+
+from repro.mobility.scenarios import city_scenario, highway_scenario, two_vehicle_passes
+
+
+class TestCityScenario:
+    def test_builds_network_and_traces(self):
+        scn = city_scenario(area_km=1.0, n_vehicles=5, duration_s=60, seed=1)
+        assert scn.network.node_count > 0
+        assert len(scn.traces) == 5
+        assert scn.traces.duration_s == 60
+
+
+class TestHighwayScenario:
+    def test_two_instrumented_plus_background(self):
+        traces = highway_scenario(duration_s=120, speed_kmh=80, n_background=4, seed=2)
+        assert len(traces) == 6
+
+    def test_separation_sweeps_range(self):
+        traces = highway_scenario(duration_s=240, speed_kmh=80, seed=3)
+        matrix = traces.position_matrix()
+        seps = np.linalg.norm(matrix[0] - matrix[1], axis=1)
+        assert seps.min() < 60
+        assert seps.max() > 350
+
+
+class TestTwoVehiclePasses:
+    def test_dwell_holds_separation(self):
+        traces = two_vehicle_passes([100.0, 300.0], dwell_s=30)
+        matrix = traces.position_matrix()
+        seps = np.linalg.norm(matrix[0] - matrix[1], axis=1)
+        # first dwell near 100 m, second near 300 m (plus lateral offset)
+        assert abs(seps[10] - 100.0) < 5.0
+        assert abs(seps[45] - 300.0) < 5.0
+
+    def test_duration_matches_phases(self):
+        traces = two_vehicle_passes([50.0, 100.0, 150.0], dwell_s=20)
+        assert traces.duration_s == 60

@@ -1,0 +1,66 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.geo.geometry import Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.traces import Trace, TraceSet
+
+
+def make_trace(vid, n=5, dx=1.0):
+    traj = Trajectory(
+        times=[float(t) for t in range(n)],
+        points=[Point(dx * t, float(vid)) for t in range(n)],
+    )
+    return Trace(vehicle_id=vid, trajectory=traj)
+
+
+class TestTraceSet:
+    def test_add_and_len(self):
+        ts = TraceSet(duration_s=4)
+        ts.add(make_trace(0))
+        ts.add(make_trace(1))
+        assert len(ts) == 2
+        assert ts.vehicle_ids() == [0, 1]
+
+    def test_position_matrix_shape(self):
+        ts = TraceSet(duration_s=4)
+        ts.add(make_trace(0))
+        assert ts.position_matrix().shape == (1, 5, 2)
+
+    def test_positions_at(self):
+        ts = TraceSet(duration_s=4)
+        ts.add(make_trace(0, dx=2.0))
+        assert np.allclose(ts.positions_at(2), [[4.0, 0.0]])
+
+    def test_positions_at_out_of_range(self):
+        ts = TraceSet(duration_s=4)
+        ts.add(make_trace(0))
+        with pytest.raises(SimulationError):
+            ts.positions_at(5)
+
+    def test_matrix_cache_invalidated_on_add(self):
+        ts = TraceSet(duration_s=4)
+        ts.add(make_trace(0))
+        first = ts.position_matrix()
+        ts.add(make_trace(1))
+        assert ts.position_matrix().shape[0] == 2
+        assert first.shape[0] == 1
+
+    def test_interpolation_for_offgrid_trajectories(self):
+        ts = TraceSet(duration_s=4)
+        traj = Trajectory(times=[0.0, 4.0], points=[Point(0, 0), Point(8, 0)])
+        ts.add(Trace(vehicle_id=0, trajectory=traj))
+        assert np.allclose(ts.positions_at(2), [[4.0, 0.0]])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ts = TraceSet(duration_s=4)
+        ts.add(make_trace(0))
+        ts.add(make_trace(7, dx=3.0))
+        path = tmp_path / "traces.json"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert loaded.vehicle_ids() == [0, 7]
+        assert np.array_equal(loaded.position_matrix(), ts.position_matrix())

@@ -1,0 +1,79 @@
+"""Tests for the random-trip traffic simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.geo.roadnet import grid_city
+from repro.mobility.traffic import KMH_TO_MS, TrafficConfig, simulate_traffic
+
+
+class TestTrafficConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(SimulationError):
+            TrafficConfig(n_vehicles=0, duration_s=60)
+        with pytest.raises(SimulationError):
+            TrafficConfig(n_vehicles=1, duration_s=0)
+        with pytest.raises(SimulationError):
+            TrafficConfig(n_vehicles=1, duration_s=60, speed_kmh=-1)
+
+
+class TestSimulateTraffic:
+    def make_traces(self, **kwargs):
+        net = grid_city(1000, 1000, block_m=200)
+        config = TrafficConfig(
+            n_vehicles=kwargs.pop("n_vehicles", 5),
+            duration_s=kwargs.pop("duration_s", 120),
+            **kwargs,
+        )
+        return simulate_traffic(net, config)
+
+    def test_trace_count_and_duration(self):
+        traces = self.make_traces()
+        assert len(traces) == 5
+        for trace in traces.traces:
+            assert len(trace.trajectory) == 121
+
+    def test_positions_inside_area(self):
+        traces = self.make_traces()
+        matrix = traces.position_matrix()
+        assert matrix[:, :, 0].min() >= -1e-6
+        assert matrix[:, :, 0].max() <= 1000 + 1e-6
+        assert matrix[:, :, 1].min() >= -1e-6
+        assert matrix[:, :, 1].max() <= 1000 + 1e-6
+
+    def test_per_second_displacement_bounded_by_speed(self):
+        traces = self.make_traces(speed_kmh=50.0, speed_jitter=0.1)
+        matrix = traces.position_matrix()
+        steps = np.linalg.norm(np.diff(matrix, axis=1), axis=2)
+        max_step = 50.0 * 1.1 * KMH_TO_MS
+        # displacement can exceed straight-line speed only at corners,
+        # where the path bends; straight-line distance is then shorter
+        assert steps.max() <= max_step + 1e-6
+
+    def test_vehicles_actually_move(self):
+        traces = self.make_traces()
+        matrix = traces.position_matrix()
+        total = np.linalg.norm(np.diff(matrix, axis=1), axis=2).sum(axis=1)
+        assert (total > 100).all()
+
+    def test_deterministic_under_seed(self):
+        a = self.make_traces(seed=5)
+        b = self.make_traces(seed=5)
+        assert np.array_equal(a.position_matrix(), b.position_matrix())
+
+    def test_seeds_change_trajectories(self):
+        a = self.make_traces(seed=1)
+        b = self.make_traces(seed=2)
+        assert not np.array_equal(a.position_matrix(), b.position_matrix())
+
+    def test_mixed_speeds(self):
+        traces = self.make_traces(
+            n_vehicles=30, mixed_speeds_kmh=(30.0, 70.0), speed_jitter=0.0
+        )
+        matrix = traces.position_matrix()
+        steps = np.linalg.norm(np.diff(matrix, axis=1), axis=2)
+        per_vehicle = steps.max(axis=1)  # top speed ~ cruise speed
+        slow = (per_vehicle < 40 * KMH_TO_MS).sum()
+        fast = (per_vehicle > 60 * KMH_TO_MS).sum()
+        assert slow > 0 and fast > 0

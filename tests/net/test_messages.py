@@ -1,0 +1,69 @@
+"""Tests for protocol wire formats."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.net.messages import (
+    VP_WIRE_BYTES,
+    decode_message,
+    encode_message,
+    pack_view_profile,
+    unpack_view_profile,
+)
+from tests.core.test_viewprofile import make_vp
+
+
+class TestVPWireFormat:
+    def test_wire_size(self):
+        vp = make_vp(seed=1)
+        data = pack_view_profile(vp)
+        assert len(data) == VP_WIRE_BYTES == 60 * 72 + 256
+
+    def test_roundtrip(self):
+        vp = make_vp(seed=2)
+        restored = unpack_view_profile(pack_view_profile(vp))
+        assert restored.vp_id == vp.vp_id
+        assert len(restored.digests) == 60
+        assert restored.bloom.to_bytes() == vp.bloom.to_bytes()
+        assert restored.positions_array.tolist() == vp.positions_array.tolist()
+
+    def test_unpacked_vp_never_trusted(self):
+        vp = make_vp(seed=3)
+        vp.trusted = True
+        restored = unpack_view_profile(pack_view_profile(vp))
+        assert not restored.trusted
+
+    def test_incomplete_vp_rejected(self):
+        vp = make_vp(seed=4, n=30)
+        with pytest.raises(WireFormatError):
+            pack_view_profile(vp)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_view_profile(b"\x00" * 100)
+
+
+class TestEnvelope:
+    def test_roundtrip_with_bytes_fields(self):
+        msg = encode_message("upload_video", vp_id=b"\x01\x02", chunks=[b"a", b"b"])
+        decoded = decode_message(msg)
+        assert decoded["kind"] == "upload_video"
+        assert decoded["vp_id"] == b"\x01\x02"
+        assert decoded["chunks"] == [b"a", b"b"]
+
+    def test_scalar_fields_pass_through(self):
+        decoded = decode_message(encode_message("offer", units=5, label="x"))
+        assert decoded["units"] == 5
+        assert decoded["label"] == "x"
+
+    def test_nested_structures(self):
+        decoded = decode_message(
+            encode_message("n", data={"inner": [b"\xff", 3]})
+        )
+        assert decoded["data"]["inner"] == [b"\xff", 3]
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"\x00\x01not json")
+        with pytest.raises(WireFormatError):
+            decode_message(b'{"no_kind": 1}')

@@ -1,0 +1,80 @@
+"""Tests for the onion-routing stand-in."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.onion import OnionNetwork, _keystream_xor
+from repro.net.transport import InMemoryNetwork
+
+
+@pytest.fixture
+def onion_net():
+    net = InMemoryNetwork()
+    received = []
+
+    def server(payload: bytes) -> bytes:
+        received.append(payload)
+        return b"reply:" + payload
+
+    net.register("server", server)
+    return net, OnionNetwork(network=net, n_relays=5, hops=3, seed=1), received
+
+
+class TestKeystream:
+    def test_xor_involution(self):
+        key, nonce = b"k" * 32, b"n" * 16
+        data = b"some payload bytes" * 10
+        assert _keystream_xor(key, nonce, _keystream_xor(key, nonce, data)) == data
+
+    def test_different_keys_differ(self):
+        nonce = b"n" * 16
+        a = _keystream_xor(b"a" * 32, nonce, b"data")
+        b = _keystream_xor(b"b" * 32, nonce, b"data")
+        assert a != b
+
+
+class TestOnionNetwork:
+    def test_payload_reaches_destination_intact(self, onion_net):
+        _, onion, received = onion_net
+        reply = onion.anonymous_send("server", b"hello world")
+        assert received == [b"hello world"]
+        assert reply == b"reply:hello world"
+
+    def test_server_sees_exit_relay_not_client(self, onion_net):
+        net, onion, _ = onion_net
+        circuit = onion.build_circuit()
+        onion.anonymous_send("server", b"x", circuit)
+        to_server = [src for src, dst, _ in net.delivery_log if dst == "server"]
+        assert to_server == [circuit.relays[-1].address]
+
+    def test_entry_relay_never_sees_plaintext(self, onion_net):
+        net, onion, _ = onion_net
+        secret = b"very secret payload that must stay hidden"
+        onion.anonymous_send("server", secret)
+        # capture what flowed into the first hop: sizes only in log, so
+        # re-send with instrumentation
+        circuit = onion.build_circuit()
+        wrapped = circuit.wrap("server", secret)
+        assert secret not in wrapped
+
+    def test_sessions_rotate_per_circuit(self, onion_net):
+        _, onion, _ = onion_net
+        sessions = {onion.build_circuit().session_id for _ in range(20)}
+        assert len(sessions) == 20
+
+    def test_circuit_paths_vary(self, onion_net):
+        _, onion, _ = onion_net
+        paths = {
+            tuple(r.address for r in onion.build_circuit().relays) for _ in range(20)
+        }
+        assert len(paths) > 1
+
+    def test_too_long_circuit_rejected(self):
+        net = InMemoryNetwork()
+        with pytest.raises(NetworkError):
+            OnionNetwork(network=net, n_relays=2, hops=3)
+
+    def test_reply_unwraps_through_all_layers(self, onion_net):
+        _, onion, _ = onion_net
+        for _ in range(5):
+            assert onion.anonymous_send("server", b"ping") == b"reply:ping"

@@ -1,0 +1,43 @@
+"""Tests for the in-memory transport."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.transport import InMemoryNetwork
+
+
+class TestInMemoryNetwork:
+    def test_request_response(self):
+        net = InMemoryNetwork()
+        net.register("echo", lambda payload: payload.upper())
+        assert net.send("client", "echo", b"hello") == b"HELLO"
+
+    def test_unknown_destination_raises(self):
+        net = InMemoryNetwork()
+        with pytest.raises(NetworkError):
+            net.send("client", "nowhere", b"x")
+
+    def test_duplicate_registration_rejected(self):
+        net = InMemoryNetwork()
+        net.register("svc", lambda p: p)
+        with pytest.raises(NetworkError):
+            net.register("svc", lambda p: p)
+
+    def test_unregister(self):
+        net = InMemoryNetwork()
+        net.register("svc", lambda p: p)
+        net.unregister("svc")
+        with pytest.raises(NetworkError):
+            net.send("c", "svc", b"x")
+
+    def test_delivery_log_records_metadata_only(self):
+        net = InMemoryNetwork()
+        net.register("svc", lambda p: b"")
+        net.send("alice", "svc", b"12345")
+        assert net.delivery_log == [("alice", "svc", 5)]
+
+    def test_addresses_sorted(self):
+        net = InMemoryNetwork()
+        net.register("b", lambda p: p)
+        net.register("a", lambda p: p)
+        assert net.addresses() == ["a", "b"]

@@ -1,0 +1,67 @@
+"""Tests for the lightweight privacy dataset."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mobility.scenarios import city_scenario
+from repro.privacy.dataset import build_privacy_dataset
+
+
+@pytest.fixture(scope="module")
+def small_city():
+    return city_scenario(area_km=1.5, n_vehicles=12, duration_s=180, seed=7)
+
+
+class TestBuildDataset:
+    def test_actual_record_per_vehicle_minute(self, small_city):
+        ds = build_privacy_dataset(small_city.traces, seed=1)
+        assert ds.n_minutes == 3
+        for minute in range(3):
+            actuals = [r for r in ds.records(minute) if not r.is_guard]
+            assert len(actuals) == 12
+
+    def test_actual_records_match_trace_endpoints(self, small_city):
+        ds = build_privacy_dataset(small_city.traces, seed=1)
+        rec = ds.actual_record(3, 1)
+        p_start = small_city.traces.positions_at(60)[3]
+        p_end = small_city.traces.positions_at(120)[3]
+        assert rec.start == tuple(p_start)
+        assert rec.end == tuple(p_end)
+
+    def test_guard_records_follow_protocol(self, small_city):
+        ds = build_privacy_dataset(small_city.traces, alpha=1.0, seed=2)
+        for minute in range(3):
+            for rec in ds.records(minute):
+                if not rec.is_guard:
+                    continue
+                # guard starts at the covered neighbour's minute start...
+                covered = ds.actual_record(rec.guard_for, minute)
+                assert rec.start == covered.start
+                # ...and ends at the creator's own minute end
+                creator = ds.actual_record(rec.owner, minute)
+                assert rec.end == creator.end
+
+    def test_alpha_scales_guard_volume(self, small_city):
+        low = build_privacy_dataset(small_city.traces, alpha=0.1, seed=3)
+        high = build_privacy_dataset(small_city.traces, alpha=0.9, seed=3)
+        assert high.guard_count(0) >= low.guard_count(0)
+
+    def test_without_guards(self, small_city):
+        ds = build_privacy_dataset(small_city.traces, with_guards=False, seed=4)
+        assert ds.guard_count(0) == 0
+        assert ds.vps_per_minute() == 12.0
+
+    def test_neighbor_counts_recorded(self, small_city):
+        ds = build_privacy_dataset(small_city.traces, seed=5)
+        assert set(ds.neighbor_counts[0]) == set(range(12))
+
+    def test_short_trace_rejected(self, small_city):
+        from repro.mobility.traces import TraceSet
+
+        with pytest.raises(SimulationError):
+            build_privacy_dataset(TraceSet(duration_s=30))
+
+    def test_record_ids_unique(self, small_city):
+        ds = build_privacy_dataset(small_city.traces, seed=6)
+        ids = [r.record_id for m in range(3) for r in ds.records(m)]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,43 @@
+"""Tests for privacy metrics."""
+
+import math
+
+from repro.privacy.metrics import average_series, location_entropy, tracking_success_ratio
+
+
+class TestLocationEntropy:
+    def test_certainty_is_zero(self):
+        assert location_entropy([1.0]) == 0.0
+
+    def test_uniform_distribution(self):
+        assert location_entropy([0.25] * 4) == 2.0
+        assert location_entropy([0.125] * 8) == 3.0
+
+    def test_zero_probabilities_skipped(self):
+        assert location_entropy([0.5, 0.5, 0.0]) == 1.0
+
+    def test_empty_distribution(self):
+        assert location_entropy([]) == 0.0
+
+    def test_skewed_below_uniform(self):
+        assert location_entropy([0.9, 0.05, 0.05]) < math.log2(3)
+
+
+class TestSuccessRatio:
+    def test_reads_true_record(self):
+        belief = {1: 0.2, 2: 0.8}
+        assert tracking_success_ratio(belief, 2) == 0.8
+
+    def test_missing_record_is_zero(self):
+        assert tracking_success_ratio({1: 1.0}, 99) == 0.0
+
+
+class TestAverageSeries:
+    def test_elementwise_mean(self):
+        assert average_series([[1.0, 2.0], [3.0, 4.0]]) == [2.0, 3.0]
+
+    def test_empty_input(self):
+        assert average_series([]) == []
+
+    def test_single_series_identity(self):
+        assert average_series([[1.5, 2.5]]) == [1.5, 2.5]

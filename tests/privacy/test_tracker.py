@@ -1,0 +1,68 @@
+"""Tests for the belief-propagation tracker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mobility.scenarios import city_scenario
+from repro.privacy.dataset import build_privacy_dataset
+from repro.privacy.tracker import VPTracker
+
+
+@pytest.fixture(scope="module")
+def city():
+    return city_scenario(area_km=2.0, n_vehicles=25, duration_s=8 * 60, seed=9)
+
+
+@pytest.fixture(scope="module")
+def guarded_dataset(city):
+    return build_privacy_dataset(city.traces, seed=1)
+
+
+@pytest.fixture(scope="module")
+def unguarded_dataset(city):
+    return build_privacy_dataset(city.traces, with_guards=False, seed=1)
+
+
+class TestTracking:
+    def test_initial_state_certain(self, guarded_dataset):
+        run = VPTracker(guarded_dataset).track(0)
+        assert run.success_ratios[0] == 1.0
+        assert run.entropies[0] == 0.0
+
+    def test_success_never_increases_without_merging_gain(self, guarded_dataset):
+        run = VPTracker(guarded_dataset).track(0)
+        # success at the end must be no higher than after the first hop
+        assert run.success_ratios[-1] <= run.success_ratios[1] + 1e-9
+
+    def test_guards_reduce_success(self, guarded_dataset, unguarded_dataset):
+        t = 5
+        guarded = [VPTracker(guarded_dataset).track(v).success_ratios[t] for v in range(10)]
+        unguarded = [VPTracker(unguarded_dataset).track(v).success_ratios[t] for v in range(10)]
+        assert sum(guarded) < sum(unguarded)
+
+    def test_unguarded_tracking_mostly_succeeds(self, unguarded_dataset):
+        # raw anonymized location data is trackable (the paper's baseline)
+        ratios = [VPTracker(unguarded_dataset).track(v).success_ratios[-1] for v in range(10)]
+        assert sum(r > 0.5 for r in ratios) >= 7
+
+    def test_entropy_grows_with_guards(self, guarded_dataset):
+        run = VPTracker(guarded_dataset).track(3)
+        assert run.entropies[-1] > run.entropies[0]
+
+    def test_window_bounds(self, guarded_dataset):
+        tracker = VPTracker(guarded_dataset)
+        run = tracker.track(0, start_minute=2, minutes=3)
+        assert run.minutes == [2, 3, 4]
+        with pytest.raises(SimulationError):
+            tracker.track(0, start_minute=99)
+
+    def test_belief_is_distribution(self, guarded_dataset):
+        # success ratio is a probability
+        run = VPTracker(guarded_dataset).track(1)
+        for s in run.success_ratios:
+            assert 0.0 <= s <= 1.0
+
+    def test_candidate_counts_grow(self, guarded_dataset):
+        run = VPTracker(guarded_dataset).track(2)
+        assert run.candidate_counts[0] == 1
+        assert max(run.candidate_counts) > 1

@@ -1,0 +1,76 @@
+"""Property-based tests for hashing and blind signatures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.blind import blind, make_blinding_secret, unblind, verify_signature
+from repro.crypto.hashing import CascadedHashChain, replay_chain
+from repro.crypto.rsa import RSAKeyPair
+
+KEY = RSAKeyPair.generate(bits=512, rng=77)
+
+second = st.tuples(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.tuples(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+    ),
+    st.integers(min_value=0, max_value=2**40),
+    st.binary(max_size=64),
+)
+
+
+class TestChainProperties:
+    @given(st.lists(second, min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_replay_deterministic(self, seconds):
+        assert replay_chain(bytes(16), seconds) == replay_chain(bytes(16), seconds)
+
+    @given(st.lists(second, min_size=2, max_size=15), st.data())
+    @settings(max_examples=40)
+    def test_any_chunk_tamper_detected(self, seconds, data):
+        idx = data.draw(st.integers(min_value=0, max_value=len(seconds) - 1))
+        original = replay_chain(bytes(16), seconds)
+        t, loc, size, chunk = seconds[idx]
+        tampered_seconds = list(seconds)
+        tampered_seconds[idx] = (t, loc, size, chunk + b"X")
+        tampered = replay_chain(bytes(16), tampered_seconds)
+        # heads diverge from the tampered second onward
+        assert original[idx:] != tampered[idx:]
+        assert original[:idx] == tampered[:idx]
+
+    @given(st.lists(second, min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_prefix_property(self, seconds):
+        # replaying a prefix gives a prefix of the heads
+        full = replay_chain(bytes(16), seconds)
+        prefix = replay_chain(bytes(16), seconds[:-1])
+        assert full[: len(prefix)] == prefix
+
+    @given(second)
+    @settings(max_examples=30)
+    def test_steps_counted(self, sec):
+        chain = CascadedHashChain(bytes(16))
+        chain.extend(*sec)
+        assert chain.steps == 1
+
+
+class TestBlindSignatureProperties:
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_blind_roundtrip_always_verifies(self, message, seed):
+        public = KEY.public
+        r = make_blinding_secret(public, rng=seed)
+        blinded = blind(public, public.hash_to_int(message), r)
+        sig = unblind(public, KEY.sign_raw(blinded), r)
+        assert verify_signature(public, message, sig)
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_signature_binds_message(self, m1, m2):
+        if m1 == m2:
+            return
+        public = KEY.public
+        r = make_blinding_secret(public, rng=5)
+        sig = unblind(public, KEY.sign_raw(blind(public, public.hash_to_int(m1), r)), r)
+        assert not verify_signature(public, m2, sig)

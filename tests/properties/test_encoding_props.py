@@ -1,0 +1,57 @@
+"""Property-based tests for wire encodings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.viewdigest import ViewDigest
+from repro.net.messages import decode_message, encode_message
+from repro.util.encoding import f32round
+
+f32 = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).map(f32round)
+
+
+@st.composite
+def view_digests(draw):
+    return ViewDigest(
+        second_index=draw(st.integers(min_value=1, max_value=60)),
+        t=draw(st.floats(min_value=0, max_value=1e9, allow_nan=False)),
+        location=(draw(f32), draw(f32)),
+        file_size=draw(st.integers(min_value=0, max_value=2**50)),
+        initial_location=(draw(f32), draw(f32)),
+        vp_id=draw(st.binary(min_size=16, max_size=16)),
+        chain_hash=draw(st.binary(min_size=16, max_size=16)),
+    )
+
+
+class TestViewDigestWire:
+    @given(view_digests())
+    @settings(max_examples=60)
+    def test_pack_unpack_identity(self, vd):
+        assert ViewDigest.unpack(vd.pack()) == vd
+
+    @given(view_digests())
+    @settings(max_examples=40)
+    def test_wire_always_72_bytes(self, vd):
+        assert len(vd.pack()) == 72
+
+
+class TestEnvelopeProperties:
+    scalars = st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.text(max_size=30),
+        st.booleans(),
+        st.binary(max_size=40),
+    )
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=10).filter(lambda s: s != "kind"), scalars, max_size=5))
+    @settings(max_examples=50)
+    def test_roundtrip(self, fields):
+        decoded = decode_message(encode_message("test", **fields))
+        for key, value in fields.items():
+            assert decoded[key] == value
+
+    @given(st.lists(st.binary(max_size=30), max_size=10))
+    @settings(max_examples=40)
+    def test_byte_lists_roundtrip(self, chunks):
+        decoded = decode_message(encode_message("video", chunks=chunks))
+        assert decoded["chunks"] == chunks

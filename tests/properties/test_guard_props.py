@@ -1,0 +1,81 @@
+"""Property-based tests for guard-VP invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.guard import GuardVPFactory, guard_coverage_probability
+from repro.core.neighbors import NeighborTable
+from repro.core.viewdigest import VDGenerator, make_secret
+from repro.core.viewprofile import build_view_profile
+from repro.geo.geometry import Point
+
+
+def build_minute(seed, n_neighbors):
+    """One vehicle's finished minute with n synthetic neighbours."""
+    gen = VDGenerator(make_secret(seed))
+    for i in range(60):
+        gen.tick(float(i + 1), Point(10.0 * i, 0.0), b"c")
+    table = NeighborTable()
+    records = []
+    for k in range(n_neighbors):
+        ngen = VDGenerator(make_secret(1000 + seed * 100 + k))
+        first = ngen.tick(1.0, Point(0.0, 20.0 * (k + 1)), b"n")
+        last = ngen.tick(60.0, Point(590.0, 20.0 * (k + 1)), b"n")
+        table.accept(first)
+        table.accept(last)
+        records = table.records()
+    vp = build_view_profile(gen.digests, table)
+    return vp, table.records()
+
+
+class TestGuardProperties:
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_guard_count_follows_alpha(self, n_neighbors, seed):
+        vp, records = build_minute(seed, n_neighbors)
+        factory = GuardVPFactory.with_seed(seed, alpha=0.5)
+        guards = factory.create_guards(vp, records)
+        assert len(guards) == factory.pick_count(n_neighbors)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_guards_anchor_at_neighbor_starts(self, n_neighbors, seed):
+        vp, records = build_minute(seed, n_neighbors)
+        factory = GuardVPFactory.with_seed(seed, alpha=1.0)
+        guards = factory.create_guards(vp, records)
+        starts = {r.initial_location for r in records}
+        for guard in guards:
+            gx, gy = guard.digests[0].location
+            assert any(
+                abs(gx - sx) < 1.0 and abs(gy - sy) < 1.0 for sx, sy in starts
+            )
+            # and every guard ends at the creator's final position
+            end = guard.end_point
+            assert end.distance_to(vp.end_point) < 1.0
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_guard_ids_unique_and_fresh(self, n_neighbors, seed):
+        vp, records = build_minute(seed, n_neighbors)
+        factory = GuardVPFactory.with_seed(seed, alpha=1.0)
+        guards = factory.create_guards(vp, records)
+        ids = {g.vp_id for g in guards}
+        assert len(ids) == len(guards)
+        assert vp.vp_id not in ids
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=50)
+    def test_coverage_probability_in_unit_interval(self, alpha, m, t):
+        p = guard_coverage_probability(alpha, m, t)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30)
+    def test_coverage_monotone_in_alpha(self, m, t):
+        weak = guard_coverage_probability(0.05, m, t)
+        strong = guard_coverage_probability(0.8, m, t)
+        assert strong <= weak + 1e-12

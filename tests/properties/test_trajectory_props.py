@@ -1,0 +1,64 @@
+"""Property-based tests for trajectories and geometry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geometry import Point, distance
+from repro.geo.trajectory import Trajectory
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+def trajectories(min_size=2, max_size=20):
+    return st.lists(points, min_size=min_size, max_size=max_size).map(
+        lambda pts: Trajectory(
+            times=[float(i) for i in range(len(pts))], points=pts
+        )
+    )
+
+
+class TestTrajectoryProperties:
+    @given(trajectories(), st.floats(min_value=-5, max_value=25, allow_nan=False))
+    @settings(max_examples=50)
+    def test_interpolation_stays_in_bbox(self, traj, t):
+        p = traj.at(t)
+        xs = [q.x for q in traj.points]
+        ys = [q.y for q in traj.points]
+        assert min(xs) - 1e-6 <= p.x <= max(xs) + 1e-6
+        assert min(ys) - 1e-6 <= p.y <= max(ys) + 1e-6
+
+    @given(trajectories())
+    @settings(max_examples=50)
+    def test_length_at_least_endpoint_distance(self, traj):
+        assert traj.length() >= traj.start_point.distance_to(traj.end_point) - 1e-6
+
+    @given(trajectories())
+    @settings(max_examples=50)
+    def test_exact_sample_recovery(self, traj):
+        for t, p in zip(traj.times, traj.points):
+            q = traj.at(t)
+            assert q.distance_to(p) < 1e-6
+
+    @given(trajectories(), st.data())
+    @settings(max_examples=40)
+    def test_resample_preserves_interpolation(self, traj, data):
+        t = data.draw(
+            st.floats(
+                min_value=traj.start_time, max_value=traj.end_time, allow_nan=False
+            )
+        )
+        resampled = traj.resample([traj.start_time, t, traj.end_time][1:2])
+        assert resampled.points[0].distance_to(traj.at(t)) < 1e-6
+
+
+class TestGeometryProperties:
+    @given(points, points)
+    @settings(max_examples=60)
+    def test_distance_symmetry(self, a, b):
+        assert distance(a, b) == distance(b, a)
+
+    @given(points, points, points)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6

@@ -1,0 +1,61 @@
+"""Tests for the DSRC broadcast channel."""
+
+import numpy as np
+
+from repro.geo.geometry import Point, Rect
+from repro.geo.obstacles import Building, ObstacleMap
+from repro.radio.channel import DsrcChannel, DsrcRadioConfig
+
+
+class TestRangeGate:
+    def test_out_of_range_never_delivers(self):
+        channel = DsrcChannel(seed=1)
+        assert not channel.beacon_delivered(Point(0, 0), Point(500, 0))
+        assert channel.observe(Point(0, 0), Point(500, 0)) == (-120.0, False)
+
+    def test_in_range_los_mostly_delivers(self):
+        channel = DsrcChannel(seed=2)
+        hits = np.mean(
+            [channel.beacon_delivered(Point(0, 0), Point(150, 0)) for _ in range(200)]
+        )
+        assert hits > 0.9
+
+    def test_custom_range(self):
+        channel = DsrcChannel(config=DsrcRadioConfig(max_range_m=100.0), seed=3)
+        assert not channel.in_range(Point(0, 0), Point(150, 0))
+
+
+class TestObstacleMode:
+    def test_geometric_blockage(self):
+        omap = ObstacleMap([Building(Rect(40, -10, 60, 10))])
+        channel = DsrcChannel(obstacle_map=omap, seed=4)
+        assert not channel.is_los(Point(0, 0), Point(100, 0))
+        hits = np.mean(
+            [channel.beacon_delivered(Point(0, 0), Point(100, 0)) for _ in range(100)]
+        )
+        assert hits < 0.1
+
+
+class TestCorridorMode:
+    def test_same_street_los(self):
+        channel = DsrcChannel(corridor_block_m=200.0, seed=5)
+        assert channel.is_los(Point(200, 0), Point(200, 350))
+
+    def test_cross_block_nlos(self):
+        channel = DsrcChannel(corridor_block_m=200.0, seed=6)
+        assert not channel.is_los(Point(100, 100), Point(300, 300))
+
+    def test_nlos_rssi_penalty(self):
+        channel = DsrcChannel(corridor_block_m=200.0, seed=7)
+        los_pair = (Point(200, 0), Point(200, 300))
+        nlos_pair = (Point(100, 100), Point(240, 320))
+        los_rssi = np.mean([channel.rssi(*los_pair) for _ in range(50)])
+        nlos_rssi = np.mean([channel.rssi(*nlos_pair) for _ in range(50)])
+        assert los_rssi - nlos_rssi > 25.0
+
+    def test_deterministic_under_seed(self):
+        a = DsrcChannel(seed=8)
+        b = DsrcChannel(seed=8)
+        pa = [a.beacon_delivered(Point(0, 0), Point(350, 0)) for _ in range(20)]
+        pb = [b.beacon_delivered(Point(0, 0), Point(350, 0)) for _ in range(20)]
+        assert pa == pb

@@ -1,0 +1,48 @@
+"""Tests for the PDR(RSSI) model."""
+
+import numpy as np
+
+from repro.radio.pdr import PDRModel
+
+
+class TestMeanPDR:
+    def test_monotone_in_rssi(self):
+        model = PDRModel.with_seed(1)
+        pdrs = [model.mean_pdr(r) for r in (-110, -100, -90, -80, -70)]
+        assert pdrs == sorted(pdrs)
+
+    def test_extremes(self):
+        model = PDRModel.with_seed(1)
+        assert model.mean_pdr(-120) < 0.01
+        assert model.mean_pdr(-60) > 0.99
+
+    def test_midpoint_half(self):
+        model = PDRModel.with_seed(1)
+        assert abs(model.mean_pdr(model.midpoint_dbm) - 0.5) < 1e-9
+
+
+class TestFluctuationBand:
+    def test_in_band_fluctuates(self):
+        model = PDRModel.with_seed(2)
+        samples = {model.sample_pdr(-90.0) for _ in range(20)}
+        assert len(samples) > 5  # visible fluctuation (Fig 16)
+
+    def test_out_of_band_stable(self):
+        model = PDRModel.with_seed(3)
+        samples = {model.sample_pdr(-60.0) for _ in range(20)}
+        assert len(samples) == 1
+
+    def test_samples_clamped(self):
+        model = PDRModel.with_seed(4)
+        for rssi in (-100, -95, -90, -85, -80):
+            for _ in range(50):
+                assert 0.0 <= model.sample_pdr(rssi) <= 1.0
+
+
+class TestDelivery:
+    def test_delivery_rate_tracks_pdr(self):
+        model = PDRModel.with_seed(5)
+        strong = np.mean([model.delivered(-70.0) for _ in range(300)])
+        weak = np.mean([model.delivered(-105.0) for _ in range(300)])
+        assert strong > 0.95
+        assert weak < 0.2

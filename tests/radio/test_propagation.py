@@ -1,0 +1,58 @@
+"""Tests for the RSSI propagation model."""
+
+from repro.geo.geometry import Point, Rect
+from repro.geo.obstacles import Building, ObstacleMap
+from repro.radio.propagation import PropagationModel, free_space_rssi
+
+
+class TestFreeSpace:
+    def test_monotone_decreasing(self):
+        rssi = [free_space_rssi(14.0, d) for d in (10, 50, 100, 200, 400)]
+        assert rssi == sorted(rssi, reverse=True)
+
+    def test_inverse_square_slope(self):
+        # free space: doubling distance costs ~6 dB
+        delta = free_space_rssi(14.0, 100) - free_space_rssi(14.0, 200)
+        assert 5.9 < delta < 6.1
+
+
+class TestPropagationModel:
+    def test_mean_rssi_deterministic(self):
+        model = PropagationModel.with_seed(1)
+        a, b = Point(0, 0), Point(200, 0)
+        assert model.mean_rssi(a, b) == model.mean_rssi(a, b)
+
+    def test_stochastic_rssi_varies(self):
+        model = PropagationModel.with_seed(1)
+        a, b = Point(0, 0), Point(200, 0)
+        samples = {model.rssi(a, b) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_los_usable_at_400m(self):
+        # the paper's field result: LOS links work out to 400 m
+        model = PropagationModel.with_seed(2)
+        rssi = model.mean_rssi(Point(0, 0), Point(400, 0))
+        assert rssi > -95.0
+
+    def test_obstacle_kills_link(self):
+        omap = ObstacleMap([Building(Rect(50, -5, 60, 5))])
+        model = PropagationModel.with_seed(3, obstacle_map=omap)
+        blocked = model.mean_rssi(Point(0, 0), Point(100, 0))
+        clear = model.mean_rssi(Point(0, 20), Point(100, 20))
+        assert clear - blocked >= 40.0
+
+    def test_is_los_delegates_to_map(self):
+        omap = ObstacleMap([Building(Rect(50, -5, 60, 5))])
+        model = PropagationModel.with_seed(4, obstacle_map=omap)
+        assert not model.is_los(Point(0, 0), Point(100, 0))
+        assert model.is_los(Point(0, 20), Point(100, 20))
+
+    def test_no_map_means_los(self):
+        model = PropagationModel.with_seed(5)
+        assert model.is_los(Point(0, 0), Point(1000, 0))
+
+    def test_minimum_distance_clamped(self):
+        model = PropagationModel.with_seed(6)
+        assert model.mean_rssi(Point(0, 0), Point(0, 0)) == model.mean_rssi(
+            Point(0, 0), Point(0.5, 0)
+        )

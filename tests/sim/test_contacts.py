@@ -1,0 +1,67 @@
+"""Tests for contact-interval extraction."""
+
+from repro.geo.geometry import Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.traces import Trace, TraceSet
+from repro.sim.contacts import contact_intervals, mean_contact_time
+
+
+def linear_trace(vid, x0, v, n):
+    traj = Trajectory(
+        times=[float(t) for t in range(n + 1)],
+        points=[Point(x0 + v * t, 0.0) for t in range(n + 1)],
+    )
+    return Trace(vehicle_id=vid, trajectory=traj)
+
+
+class TestContactIntervals:
+    def test_passing_vehicles_single_interval(self):
+        # vehicle 1 closes a 900 m gap at 10 m/s relative: in range from
+        # t=50 until the trace ends at t=100 -> one 51-second contact
+        ts = TraceSet(duration_s=100)
+        ts.add(linear_trace(0, 0.0, 10.0, 100))
+        ts.add(linear_trace(1, -900.0, 20.0, 100))
+        intervals = contact_intervals(ts, max_range_m=400.0)
+        assert intervals == [51]
+
+    def test_never_in_range(self):
+        ts = TraceSet(duration_s=50)
+        ts.add(linear_trace(0, 0.0, 10.0, 50))
+        ts.add(linear_trace(1, 10_000.0, 10.0, 50))
+        assert contact_intervals(ts, max_range_m=400.0) == []
+
+    def test_always_in_range_counts_full_duration(self):
+        ts = TraceSet(duration_s=50)
+        ts.add(linear_trace(0, 0.0, 10.0, 50))
+        ts.add(linear_trace(1, 50.0, 10.0, 50))
+        intervals = contact_intervals(ts, max_range_m=400.0)
+        assert intervals == [51]
+
+    def test_los_fn_filters_contacts(self):
+        ts = TraceSet(duration_s=50)
+        ts.add(linear_trace(0, 0.0, 10.0, 50))
+        ts.add(linear_trace(1, 50.0, 10.0, 50))
+        assert contact_intervals(ts, los_fn=lambda a, b: False) == []
+
+    def test_mean_contact_time(self):
+        ts = TraceSet(duration_s=50)
+        ts.add(linear_trace(0, 0.0, 10.0, 50))
+        ts.add(linear_trace(1, 50.0, 10.0, 50))
+        assert mean_contact_time(ts) == 51.0
+
+    def test_mean_no_contacts_zero(self):
+        ts = TraceSet(duration_s=10)
+        ts.add(linear_trace(0, 0.0, 1.0, 10))
+        ts.add(linear_trace(1, 9_000.0, 1.0, 10))
+        assert mean_contact_time(ts) == 0.0
+
+    def test_faster_relative_speed_shorter_contacts(self):
+        # 10 m/s relative closes the 800 m contact corridor in ~80 s;
+        # 40 m/s relative passes through in ~20 s
+        slow = TraceSet(duration_s=200)
+        slow.add(linear_trace(0, 0.0, 10.0, 200))
+        slow.add(linear_trace(1, -1500.0, 20.0, 200))
+        fast = TraceSet(duration_s=200)
+        fast.add(linear_trace(0, 0.0, 10.0, 200))
+        fast.add(linear_trace(1, -1500.0, 50.0, 200))
+        assert 0 < mean_contact_time(fast) < mean_contact_time(slow)

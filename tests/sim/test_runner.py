@@ -1,0 +1,77 @@
+"""Tests for the full-fidelity simulation runner."""
+
+import pytest
+
+from repro.core.viewmap import build_viewmap
+from repro.errors import SimulationError
+from repro.mobility.scenarios import city_scenario, two_vehicle_passes
+from repro.radio.channel import DsrcChannel
+from repro.sim.runner import run_viewmap_simulation
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    scn = city_scenario(area_km=1.5, n_vehicles=15, duration_s=120, seed=5)
+    channel = DsrcChannel(corridor_block_m=scn.block_m, seed=5)
+    return run_viewmap_simulation(scn.traces, channel, seed=5)
+
+
+class TestSimulationResult:
+    def test_one_actual_vp_per_vehicle_minute(self, small_run):
+        assert len(small_run.actual_vps(0)) == 15
+        assert len(small_run.actual_vps(1)) == 15
+
+    def test_ground_truth_complete(self, small_run):
+        for vp in small_run.actual_vps(0):
+            assert vp.vp_id in small_run.actual_owner
+        for vp in small_run.guard_vps(0):
+            assert vp.vp_id in small_run.guard_creator
+
+    def test_vehicle_sequences_ordered(self, small_run):
+        for vid, seq in small_run.vehicle_sequence.items():
+            assert len(seq) == 2  # two minutes simulated
+
+    def test_neighbor_counts_present(self, small_run):
+        assert set(small_run.neighbor_counts[0]) == set(range(15))
+
+    def test_guards_created_when_neighbors_exist(self, small_run):
+        total_neighbors = sum(small_run.neighbor_counts[0].values())
+        if total_neighbors > 0:
+            assert len(small_run.guard_vps(0)) > 0
+
+    def test_all_vps_collects_everything(self, small_run):
+        expected = sum(len(v) for v in small_run.vps_by_minute.values())
+        assert len(small_run.all_vps()) == expected
+
+    def test_short_trace_rejected(self):
+        scn = city_scenario(area_km=1.0, n_vehicles=2, duration_s=60, seed=1)
+        channel = DsrcChannel(seed=1)
+        scn.traces.duration_s = 30  # force an invalid duration
+        with pytest.raises(SimulationError):
+            run_viewmap_simulation(scn.traces, channel)
+
+
+class TestLinkageRealism:
+    def test_close_pair_links_in_viewmap(self):
+        traces = two_vehicle_passes([80.0], dwell_s=60)
+        channel = DsrcChannel(seed=2)
+        result = run_viewmap_simulation(traces, channel, seed=2)
+        vmap = build_viewmap(result.vps_by_minute[0], minute=0)
+        a, b = result.actual_vps(0)
+        assert vmap.graph.has_edge(a.vp_id, b.vp_id)
+
+    def test_distant_pair_does_not_link(self):
+        traces = two_vehicle_passes([500.0], dwell_s=60)
+        channel = DsrcChannel(seed=3)
+        result = run_viewmap_simulation(traces, channel, seed=3)
+        vmap = build_viewmap(result.vps_by_minute[0], minute=0)
+        a, b = result.actual_vps(0)
+        assert not vmap.graph.has_edge(a.vp_id, b.vp_id)
+
+    def test_full_radio_mode_also_links(self):
+        traces = two_vehicle_passes([80.0], dwell_s=60)
+        channel = DsrcChannel(seed=4)
+        result = run_viewmap_simulation(traces, channel, seed=4, fast_links=False)
+        vmap = build_viewmap(result.vps_by_minute[0], minute=0)
+        a, b = result.actual_vps(0)
+        assert vmap.graph.has_edge(a.vp_id, b.vp_id)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_is_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "table2" in out
+
+    def test_explicit_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestCommands:
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "cascaded" in out
+
+    def test_fig15_small(self, capsys):
+        assert main(["fig15", "--windows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Downtown" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--windows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Tunnels" in out
+
+    def test_privacy_small(self, capsys):
+        assert main([
+            "privacy", "--vehicles", "10", "--area-km", "1.5", "--minutes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out
+
+    def test_fig21_export(self, tmp_path, capsys):
+        out_file = tmp_path / "vm.json"
+        assert main([
+            "fig21", "--vehicles", "15", "--area-km", "1.5", "--out", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        assert "viewlinks" in capsys.readouterr().out

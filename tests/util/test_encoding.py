@@ -1,0 +1,75 @@
+"""Tests for byte-encoding helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.util.encoding import (
+    f32round,
+    from_hex,
+    pack_float,
+    pack_pair_f32,
+    pack_uint,
+    to_hex,
+    unpack_float,
+    unpack_pair_f32,
+    unpack_uint,
+)
+
+
+class TestFloats:
+    def test_roundtrip(self):
+        for value in (0.0, 1.5, -273.15, 1e300, math.pi):
+            assert unpack_float(pack_float(value)) == value
+
+    def test_width(self):
+        assert len(pack_float(1.0)) == 8
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_float(b"\x00" * 7)
+
+
+class TestUints:
+    def test_roundtrip(self):
+        for value, width in ((0, 1), (255, 1), (2**63, 8), (2**127, 16)):
+            assert unpack_uint(pack_uint(value, width)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(WireFormatError):
+            pack_uint(-1, 8)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            pack_uint(256, 1)
+
+
+class TestHex:
+    def test_roundtrip(self):
+        assert from_hex(to_hex(b"\x00\xffab")) == b"\x00\xffab"
+
+    def test_invalid_hex_rejected(self):
+        with pytest.raises(WireFormatError):
+            from_hex("zz")
+
+
+class TestF32Pair:
+    def test_width(self):
+        assert len(pack_pair_f32(1.0, 2.0)) == 8
+
+    def test_roundtrip_after_rounding(self):
+        x, y = 1234.5678, -98.7654
+        rx, ry = f32round(x), f32round(y)
+        assert unpack_pair_f32(pack_pair_f32(rx, ry)) == (rx, ry)
+
+    def test_f32round_idempotent(self):
+        value = f32round(0.1)
+        assert f32round(value) == value
+
+    def test_f32round_close_to_input(self):
+        assert abs(f32round(12345.678) - 12345.678) < 0.01
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_pair_f32(b"\x00" * 7)

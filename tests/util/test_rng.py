@@ -1,0 +1,42 @@
+"""Tests for seeded RNG helpers."""
+
+import random
+
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_seed_gives_deterministic_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_instance_passes_through(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_unseeded_rng(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_master_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_result_is_63_bit_non_negative(self):
+        for i in range(50):
+            seed = derive_seed(i, "x")
+            assert 0 <= seed < 2**63
+
+    def test_no_arithmetic_correlation(self):
+        # consecutive labels must not give consecutive seeds
+        seeds = [derive_seed(0, i) for i in range(10)]
+        diffs = {b - a for a, b in zip(seeds, seeds[1:])}
+        assert len(diffs) == 9

@@ -1,0 +1,29 @@
+"""Tests for minute/second alignment helpers."""
+
+from repro.util.timeline import align_to_minute, minute_of, minute_start, second_in_minute
+
+
+class TestMinuteMath:
+    def test_minute_of(self):
+        assert minute_of(0) == 0
+        assert minute_of(59.9) == 0
+        assert minute_of(60) == 1
+        assert minute_of(3600) == 60
+
+    def test_second_in_minute(self):
+        assert second_in_minute(0) == 0
+        assert second_in_minute(59) == 59
+        assert second_in_minute(60) == 0
+        assert second_in_minute(125) == 5
+
+    def test_minute_start(self):
+        assert minute_start(0) == 0
+        assert minute_start(3) == 180
+
+    def test_align_to_minute(self):
+        assert align_to_minute(125.7) == 120
+        assert align_to_minute(60) == 60
+
+    def test_roundtrip_identities(self):
+        for t in (0, 1, 59, 60, 61, 3599, 3600):
+            assert minute_start(minute_of(t)) + second_in_minute(t) == int(t)

@@ -1,0 +1,54 @@
+"""Tests for the blur pipeline."""
+
+import numpy as np
+
+from repro.vision.blur import BlurPipeline, blur_regions
+from repro.vision.frames import FrameSpec, PlateRegion, synthesize_frame
+
+
+class TestBlurRegions:
+    def test_blur_reduces_detail(self):
+        frame, truth = synthesize_frame(FrameSpec(), rng=1)
+        blurred = blur_regions(frame, truth)
+        for plate in truth:
+            rows, cols = plate.slices()
+            assert blurred[rows, cols].std() < frame[rows, cols].std()
+
+    def test_outside_regions_untouched(self):
+        frame, truth = synthesize_frame(FrameSpec(n_plates=1), rng=2)
+        blurred = blur_regions(frame, truth)
+        mask = np.ones_like(frame, dtype=bool)
+        rows, cols = truth[0].slices()
+        mask[rows, cols] = False
+        assert np.array_equal(frame[mask], blurred[mask])
+
+    def test_original_not_mutated(self):
+        frame, truth = synthesize_frame(FrameSpec(), rng=3)
+        copy = frame.copy()
+        blur_regions(frame, truth)
+        assert np.array_equal(frame, copy)
+
+    def test_empty_region_list_is_identity(self):
+        frame, _ = synthesize_frame(FrameSpec(), rng=4)
+        assert np.array_equal(blur_regions(frame, []), frame)
+
+
+class TestBlurPipeline:
+    def test_process_returns_frame_and_timing(self):
+        pipeline = BlurPipeline()
+        frame, truth = synthesize_frame(FrameSpec(), rng=5)
+        blurred, timing = pipeline.process(frame)
+        assert blurred.shape == frame.shape
+        assert timing.blur_s > 0
+        assert timing.io_s > 0
+        assert timing.total_s == timing.io_s + timing.blur_s
+        assert timing.fps == 1.0 / timing.total_s
+
+    def test_plates_anonymized_end_to_end(self):
+        pipeline = BlurPipeline()
+        frame, truth = synthesize_frame(FrameSpec(), rng=6)
+        blurred, _ = pipeline.process(frame)
+        for plate in truth:
+            rows, cols = plate.slices()
+            # glyph stripes smeared: contrast collapses
+            assert blurred[rows, cols].std() < 0.6 * frame[rows, cols].std()

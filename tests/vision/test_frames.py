@@ -1,0 +1,55 @@
+"""Tests for synthetic frame generation."""
+
+import numpy as np
+
+from repro.vision.frames import FrameSpec, PlateRegion, synthesize_frame
+
+
+class TestPlateRegion:
+    def test_slices_select_region(self):
+        region = PlateRegion(x=10, y=20, width=30, height=5)
+        rows, cols = region.slices()
+        assert rows == slice(20, 25)
+        assert cols == slice(10, 40)
+
+    def test_intersection(self):
+        a = PlateRegion(0, 0, 10, 10)
+        b = PlateRegion(5, 5, 10, 10)
+        c = PlateRegion(20, 20, 5, 5)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+
+class TestSynthesizeFrame:
+    def test_frame_shape_and_dtype(self):
+        frame, _ = synthesize_frame(FrameSpec(), rng=1)
+        assert frame.shape == (480, 640)
+        assert frame.dtype == np.uint8
+
+    def test_requested_plate_count(self):
+        _, plates = synthesize_frame(FrameSpec(n_plates=3), rng=2)
+        assert len(plates) == 3
+
+    def test_plates_are_bright_regions(self):
+        frame, plates = synthesize_frame(FrameSpec(), rng=3)
+        for plate in plates:
+            rows, cols = plate.slices()
+            assert frame[rows, cols].mean() > 150
+
+    def test_plates_have_plate_aspect(self):
+        _, plates = synthesize_frame(FrameSpec(n_plates=4), rng=4)
+        for plate in plates:
+            aspect = plate.width / plate.height
+            assert 2.0 <= aspect <= 6.5
+
+    def test_deterministic_under_seed(self):
+        f1, p1 = synthesize_frame(FrameSpec(), rng=5)
+        f2, p2 = synthesize_frame(FrameSpec(), rng=5)
+        assert np.array_equal(f1, f2)
+        assert p1 == p2
+
+    def test_plates_do_not_overlap(self):
+        _, plates = synthesize_frame(FrameSpec(n_plates=4), rng=6)
+        for i, a in enumerate(plates):
+            for b in plates[i + 1 :]:
+                assert not a.intersects(b)

@@ -1,0 +1,50 @@
+"""Tests for plate localization."""
+
+import numpy as np
+
+from repro.vision.frames import FrameSpec, synthesize_frame
+from repro.vision.plates import detection_recall, localize_plates
+
+
+class TestLocalization:
+    def test_finds_embedded_plates(self):
+        recalls = []
+        for seed in range(10):
+            frame, truth = synthesize_frame(FrameSpec(), rng=seed)
+            detected = localize_plates(frame)
+            recalls.append(detection_recall(truth, detected))
+        assert np.mean(recalls) > 0.9
+
+    def test_rejects_non_plate_distractors(self):
+        # frames with distractors only: nothing should be detected
+        frame, _ = synthesize_frame(FrameSpec(n_plates=0, n_distractors=4), rng=1)
+        detected = localize_plates(frame)
+        assert len(detected) <= 1  # occasional merged blob tolerated
+
+    def test_empty_frame_no_detections(self):
+        frame = np.full((480, 640), 90, dtype=np.uint8)
+        assert localize_plates(frame) == []
+
+    def test_detection_boxes_overlap_truth(self):
+        frame, truth = synthesize_frame(FrameSpec(n_plates=2), rng=2)
+        detected = localize_plates(frame)
+        for t in truth:
+            assert any(t.intersects(d) for d in detected)
+
+
+class TestRecallMetric:
+    def test_perfect_recall(self):
+        from repro.vision.frames import PlateRegion
+
+        truth = [PlateRegion(0, 0, 10, 10)]
+        assert detection_recall(truth, truth) == 1.0
+
+    def test_no_truth_is_perfect(self):
+        assert detection_recall([], []) == 1.0
+
+    def test_miss_counted(self):
+        from repro.vision.frames import PlateRegion
+
+        truth = [PlateRegion(0, 0, 10, 10), PlateRegion(100, 100, 10, 10)]
+        detected = [PlateRegion(1, 1, 10, 10)]
+        assert detection_recall(truth, detected) == 0.5

@@ -1,0 +1,33 @@
+"""Tests for platform scaling models."""
+
+from repro.vision.blur import PipelineTiming
+from repro.vision.platforms import REFERENCE_PLATFORMS
+
+
+class TestReferencePlatforms:
+    def test_three_platforms(self):
+        assert len(REFERENCE_PLATFORMS) == 3
+        names = [p.name for p in REFERENCE_PLATFORMS]
+        assert any("Pi" in n for n in names)
+
+    def test_scale_reproduces_published_ratios(self):
+        pi, imac08, imac14 = REFERENCE_PLATFORMS
+        base = PipelineTiming(
+            capture_io_s=0.010, blur_s=0.01018, write_io_s=0.01044
+        )
+        scaled = pi.scale(base, imac14)
+        assert abs(scaled.blur_s / base.blur_s - 50.19 / 10.18) < 1e-9
+
+    def test_identity_scale_on_baseline(self):
+        imac14 = REFERENCE_PLATFORMS[-1]
+        base = PipelineTiming(capture_io_s=0.01, blur_s=0.02, write_io_s=0.01)
+        scaled = imac14.scale(base, imac14)
+        assert scaled.total_s == base.total_s
+
+    def test_pi_slower_than_imacs(self):
+        pi, imac08, imac14 = REFERENCE_PLATFORMS
+        base = PipelineTiming(capture_io_s=0.01, blur_s=0.01, write_io_s=0.01)
+        t_pi = pi.scale(base, imac14).total_s
+        t_08 = imac08.scale(base, imac14).total_s
+        t_14 = imac14.scale(base, imac14).total_s
+        assert t_pi > t_08 > t_14
