@@ -11,6 +11,12 @@ Package map:
 
 * :mod:`repro.core` — the paper's contribution (VDs, VPs, guards,
   viewmaps, verification, solicitation, rewarding, the system facade);
+* :mod:`repro.store` — pluggable VP storage backends behind the
+  database facade: ``MemoryStore`` (spatial-grid indexed, the default),
+  ``SQLiteStore`` (persistent, survives authority restarts) and
+  ``ShardedStore`` (minute-partitioned scale-out); pick one via
+  ``ViewMapSystem(store=make_store("sqlite", path))`` or the CLI's
+  ``--store`` option;
 * :mod:`repro.crypto` — hashes, Bloom filters, RSA blind signatures;
 * :mod:`repro.geo` / :mod:`repro.radio` / :mod:`repro.mobility` /
   :mod:`repro.sim` — the road, radio and traffic substrates;
@@ -28,8 +34,9 @@ from repro.core.viewmap import ViewMapGraph, build_viewmap, mutual_linkage
 from repro.core.viewprofile import ViewProfile, build_view_profile
 from repro.core.verification import VerificationResult, trustrank, verify_viewmap
 from repro.geo.geometry import Point, Rect
+from repro.store import MemoryStore, ShardedStore, SQLiteStore, VPStore, make_store
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ViewMapSystem",
@@ -48,5 +55,10 @@ __all__ = [
     "verify_viewmap",
     "Point",
     "Rect",
+    "VPStore",
+    "MemoryStore",
+    "SQLiteStore",
+    "ShardedStore",
+    "make_store",
     "__version__",
 ]

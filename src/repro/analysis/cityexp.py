@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.database import VPDatabase
 from repro.core.viewmap import ViewMapGraph, build_viewmap
 from repro.geo.obstacles import corridor_los
 from repro.geo.routing import make_grid_route_fn
@@ -16,6 +17,7 @@ from repro.mobility.scenarios import city_scenario
 from repro.radio.channel import DsrcChannel
 from repro.sim.contacts import mean_contact_time
 from repro.sim.runner import run_viewmap_simulation
+from repro.store import VPStore, make_store
 from repro.util.rng import derive_seed
 
 
@@ -39,8 +41,15 @@ def city_viewmap_stats(
     area_km: float = 6.0,
     seed: int = 0,
     label: str | None = None,
+    store: VPStore | str | None = None,
 ) -> tuple[CityViewmapStats, ViewMapGraph]:
-    """Simulate one minute of city traffic and build its viewmap."""
+    """Simulate one minute of city traffic and build its viewmap.
+
+    The simulated VP corpus is batch-ingested into an authority VP
+    database before the viewmap is built, exercising the real ingest →
+    query path.  ``store`` selects the storage backend (an instance or a
+    :func:`repro.store.make_store` kind name; default in-memory).
+    """
     scn = city_scenario(
         area_km=area_km,
         n_vehicles=n_vehicles,
@@ -56,7 +65,11 @@ def city_viewmap_stats(
         route_fn=make_grid_route_fn(scn.block_m),
         seed=seed,
     )
-    vmap = build_viewmap(result.vps_by_minute[0], minute=0)
+    if isinstance(store, str):
+        store = make_store(store)
+    database = VPDatabase(store=store) if store is not None else VPDatabase()
+    result.ingest_into(database)
+    vmap = build_viewmap(database.by_minute(0), minute=0)
     stats = vmap.degree_stats()
     n_counts = list(result.neighbor_counts[0].values())
     mean_neighbors = sum(n_counts) / max(len(n_counts), 1)

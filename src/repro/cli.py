@@ -16,6 +16,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ReproError
+from repro.store import STORE_KINDS
+
 
 def _cmd_fig15(args: argparse.Namespace) -> None:
     from repro.analysis.fieldtrial import ENVIRONMENTS, vlr_curve
@@ -75,10 +78,16 @@ def _cmd_fig12(args: argparse.Namespace) -> None:
 def _cmd_fig21(args: argparse.Namespace) -> None:
     from repro.analysis.cityexp import city_viewmap_stats
     from repro.core.export import render_ascii, save_viewmap
+    from repro.store import make_store
 
+    store = make_store(args.store, path=args.store_path, n_shards=args.shards)
     stats, vmap = city_viewmap_stats(
-        args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed
+        args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed,
+        store=store,
     )
+    occupancy = store.stats()
+    print(f"store: {occupancy.backend} ({occupancy.vps} VPs, "
+          f"{occupancy.minutes} minutes)")
     print(f"{stats.label}: {stats.nodes} VPs, {stats.edges} viewlinks, "
           f"member ratio {stats.member_ratio:.3f}")
     print(render_ascii(vmap))
@@ -114,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--minutes", type=int, default=10)
         cmd.add_argument("--speed", type=float, default=50.0)
         cmd.add_argument("--out", type=str, default="")
+        cmd.add_argument(
+            "--store",
+            choices=STORE_KINDS,
+            default="memory",
+            help="VP storage backend (sqlite persists across runs)",
+        )
+        cmd.add_argument(
+            "--store-path",
+            type=str,
+            default="",
+            help="database file for --store sqlite (default: in-memory)",
+        )
+        cmd.add_argument(
+            "--shards", type=int, default=4, help="shard count for --store sharded"
+        )
     return parser
 
 
@@ -129,6 +153,9 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         handler, _ = COMMANDS[args.command]
         handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # output piped into a pager/head that closed early — not an error
         import os

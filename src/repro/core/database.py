@@ -3,78 +3,84 @@
 Stores anonymized VPs exactly as uploaded — actual and guard VPs are
 indistinguishable and are treated identically.  Trusted VPs arrive through
 a separate authenticated path (police fleet) and carry the trusted flag.
+
+Since the ``repro.store`` subsystem landed, this class is a thin facade
+over a pluggable :class:`~repro.store.base.VPStore` backend (spatially
+indexed in-memory by default; SQLite for persistence; sharded for
+scale-out).  The public API is unchanged from the flat-dict original.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.viewprofile import ViewProfile
-from repro.errors import ValidationError
 from repro.geo.geometry import Point, Rect
+from repro.store.base import StoreStats, VPStore
+from repro.store.memory import MemoryStore
 
 
 @dataclass
 class VPDatabase:
     """Minute-indexed store of anonymized view profiles."""
 
-    _by_minute: dict[int, list[ViewProfile]] = field(
-        default_factory=lambda: defaultdict(list)
-    )
-    _by_id: dict[bytes, ViewProfile] = field(default_factory=dict)
+    store: VPStore = field(default_factory=MemoryStore)
 
     def insert(self, vp: ViewProfile) -> None:
         """Store an uploaded VP; duplicate R values are rejected."""
-        if vp.vp_id in self._by_id:
-            raise ValidationError("a VP with this identifier already exists")
-        self._by_id[vp.vp_id] = vp
-        self._by_minute[vp.minute].append(vp)
+        self.store.insert(vp)
 
     def insert_trusted(self, vp: ViewProfile) -> None:
-        """Store a VP through the authority path, marking it trusted."""
-        vp.trusted = True
-        self.insert(vp)
+        """Store a VP through the authority path, marking it trusted.
+
+        The backend sets the flag only after duplicate validation, so a
+        rejected insert never flips a caller-held VP to trusted.
+        """
+        self.store.insert_trusted(vp)
+
+    def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        """Batch-ingest VPs, skipping duplicates; returns how many landed."""
+        return self.store.insert_many(vps)
+
+    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        """Which of these identifiers are already stored (one batch probe)."""
+        return self.store.existing_ids(vp_ids)
 
     def __len__(self) -> int:
-        return len(self._by_id)
+        return len(self.store)
 
     def __contains__(self, vp_id: bytes) -> bool:
-        return vp_id in self._by_id
+        return vp_id in self.store
 
     def get(self, vp_id: bytes) -> ViewProfile | None:
         """Fetch one VP by identifier."""
-        return self._by_id.get(vp_id)
+        return self.store.get(vp_id)
 
     def minutes(self) -> list[int]:
         """All minute indices with at least one stored VP."""
-        return sorted(self._by_minute)
+        return self.store.minutes()
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute."""
-        return list(self._by_minute.get(minute, []))
+        return self.store.by_minute(minute)
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
-        out = []
-        for vp in self._by_minute.get(minute, []):
-            pos = vp.positions_array
-            inside = (
-                (pos[:, 0] >= area.x_min)
-                & (pos[:, 0] <= area.x_max)
-                & (pos[:, 1] >= area.y_min)
-                & (pos[:, 1] <= area.y_max)
-            )
-            if bool(inside.any()):
-                out.append(vp)
-        return out
+        return self.store.by_minute_in_area(minute, area)
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
         """Trusted VPs of one minute."""
-        return [vp for vp in self._by_minute.get(minute, []) if vp.trusted]
+        return self.store.trusted_by_minute(minute)
 
     def nearest_trusted(self, minute: int, site: Point, k: int = 1) -> list[ViewProfile]:
         """The k trusted VPs of a minute closest to the investigation site."""
-        trusted = self.trusted_by_minute(minute)
-        trusted.sort(key=lambda vp: min(site.distance_to(p) for p in vp.trajectory.points))
-        return trusted[:k]
+        return self.store.nearest_trusted(minute, site, k=k)
+
+    def stats(self) -> StoreStats:
+        """Backend occupancy snapshot (see :class:`StoreStats`)."""
+        return self.store.stats()
+
+    def close(self) -> None:
+        """Release backend resources (meaningful for persistent stores)."""
+        self.store.close()

@@ -33,6 +33,7 @@ from repro.crypto.cash import CashRegistry
 from repro.crypto.rsa import RSAKeyPair
 from repro.errors import ValidationError
 from repro.geo.geometry import Point
+from repro.store.base import VPStore
 
 
 @dataclass
@@ -52,7 +53,12 @@ class ViewMapSystem:
     key_bits: int = 1024
     seed: int = 0
     reward_units: int = 5           #: default payout per reviewed video
-    database: VPDatabase = field(default_factory=VPDatabase)
+    #: optional storage backend; when given, the VP database wraps it
+    #: (e.g. ``make_store("sqlite", path)`` for a restart-surviving authority)
+    store: VPStore | None = None
+    #: the VP database; built from ``store`` (or an in-memory default)
+    #: when not supplied.  Passing both is a configuration error.
+    database: VPDatabase | None = None
     solicitations: SolicitationBoard = field(default_factory=SolicitationBoard)
     rewards: RewardService = field(init=False)
     registry: CashRegistry = field(init=False)
@@ -60,6 +66,15 @@ class ViewMapSystem:
     reviewed: set[bytes] = field(default_factory=set)
 
     def __post_init__(self) -> None:
+        if self.store is not None and self.database is not None:
+            raise ValidationError(
+                "pass either store= or database=, not both: a supplied "
+                "database would silently shadow the requested backend"
+            )
+        if self.database is None:
+            self.database = (
+                VPDatabase(store=self.store) if self.store is not None else VPDatabase()
+            )
         keypair = RSAKeyPair.generate(self.key_bits, rng=random.Random(self.seed))
         self.rewards = RewardService(signer=BlindSigner(keypair=keypair))
         self.registry = CashRegistry(public=keypair.public)
@@ -71,6 +86,18 @@ class ViewMapSystem:
         if vp.trusted:
             raise ValidationError("anonymous uploads cannot claim trusted status")
         self.database.insert(vp)
+
+    def ingest_vps(self, vps: list[ViewProfile]) -> int:
+        """Batch-accept anonymously uploaded VPs (duplicates skipped).
+
+        The batch path the upload front-end and simulation runners use:
+        one backend round-trip instead of one per VP.  Returns how many
+        VPs were newly stored.
+        """
+        for vp in vps:
+            if vp.trusted:
+                raise ValidationError("anonymous uploads cannot claim trusted status")
+        return self.database.insert_many(vps)
 
     def ingest_trusted_vp(self, vp: ViewProfile) -> None:
         """Accept a VP through the authenticated authority path."""

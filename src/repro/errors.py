@@ -35,3 +35,7 @@ class SimulationError(ReproError):
 
 class NetworkError(ReproError):
     """The in-memory anonymous transport failed to deliver a message."""
+
+
+class StorageError(ReproError):
+    """A VP store backend could not be opened or operated."""

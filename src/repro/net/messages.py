@@ -44,6 +44,29 @@ def unpack_view_profile(data: bytes) -> ViewProfile:
     return ViewProfile(digests=digests, bloom=bloom, trusted=False)
 
 
+#: upper bound on VPs per ``upload_vp_batch`` message — keeps one request
+#: near the size of a typical WiFi upload burst and bounds server work
+MAX_VP_BATCH = 256
+
+
+def pack_vp_batch(vps: list[ViewProfile]) -> list[bytes]:
+    """Serialize a VP batch for one ``upload_vp_batch`` message."""
+    if len(vps) > MAX_VP_BATCH:
+        raise WireFormatError(
+            f"VP batch of {len(vps)} exceeds the {MAX_VP_BATCH}-VP limit"
+        )
+    return [pack_view_profile(vp) for vp in vps]
+
+
+def unpack_vp_batch(blocks: list[bytes]) -> list[ViewProfile]:
+    """Parse the VP blocks of one batch upload.  Never yields trusted VPs."""
+    if len(blocks) > MAX_VP_BATCH:
+        raise WireFormatError(
+            f"VP batch of {len(blocks)} exceeds the {MAX_VP_BATCH}-VP limit"
+        )
+    return [unpack_view_profile(block) for block in blocks]
+
+
 def encode_message(kind: str, **fields: Any) -> bytes:
     """Encode one protocol message.
 

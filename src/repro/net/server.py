@@ -4,17 +4,28 @@ Wraps a :class:`~repro.core.system.ViewMapSystem` behind the message
 formats of :mod:`repro.net.messages`.  The server sees only the exit
 relay's address and a rotating session id — it cannot attribute uploads
 to users.  Sessions are logged so privacy tests can verify unlinkability.
+
+Dispatch goes through an explicit handler registry built at startup:
+the request ``kind`` is looked up in a closed table, so crafted kind
+strings can never resolve to arbitrary attributes of the server object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.system import ViewMapSystem
 from repro.errors import ReproError
-from repro.net.messages import decode_message, encode_message, unpack_view_profile
+from repro.net.messages import (
+    decode_message,
+    encode_message,
+    unpack_view_profile,
+    unpack_vp_batch,
+)
 from repro.net.transport import InMemoryNetwork
+
+Handler = Callable[[dict[str, Any]], bytes]
 
 
 @dataclass
@@ -26,8 +37,19 @@ class ViewMapServer:
     address: str = "viewmap-system"
     #: session ids observed per request kind (for unlinkability tests)
     session_log: list[tuple[str, str]] = field(default_factory=list)
+    _handlers: dict[str, Handler] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        self._handlers = {
+            "upload_vp": self._on_upload_vp,
+            "upload_vp_batch": self._on_upload_vp_batch,
+            "list_solicitations": self._on_list_solicitations,
+            "upload_video": self._on_upload_video,
+            "list_rewards": self._on_list_rewards,
+            "claim_reward": self._on_claim_reward,
+            "sign_blinded": self._on_sign_blinded,
+            "public_key": self._on_public_key,
+        }
         self.network.register(self.address, self.handle)
 
     def handle(self, payload: bytes) -> bytes:
@@ -36,7 +58,7 @@ class ViewMapServer:
             message = decode_message(payload)
             kind = message["kind"]
             self.session_log.append((kind, message.get("session", "")))
-            handler = getattr(self, f"_on_{kind}", None)
+            handler = self._handlers.get(kind)
             if handler is None:
                 return encode_message("error", reason=f"unknown kind: {kind}")
             return handler(message)
@@ -51,6 +73,27 @@ class ViewMapServer:
             return encode_message("ack", accepted=False, reason="duplicate")
         self.system.ingest_vp(vp)
         return encode_message("ack", accepted=True)
+
+    def _on_upload_vp_batch(self, message: dict[str, Any]) -> bytes:
+        """Batch upload: one round-trip for a vehicle's pending VPs.
+
+        Replies with a per-VP accepted flag (duplicates — against the
+        store or within the batch — are rejected individually, never the
+        whole batch).
+        """
+        vps = unpack_vp_batch(message["vps"])
+        # one indexed probe for the whole batch, not a per-VP round-trip
+        taken = self.system.database.existing_ids([vp.vp_id for vp in vps])
+        accepted: list[bool] = []
+        fresh: list = []
+        for vp in vps:
+            ok = vp.vp_id not in taken
+            accepted.append(ok)
+            if ok:
+                taken.add(vp.vp_id)
+                fresh.append(vp)
+        inserted = self.system.ingest_vps(fresh)
+        return encode_message("batch_ack", accepted=accepted, inserted=inserted)
 
     def _on_list_solicitations(self, message: dict[str, Any]) -> bytes:
         ids = self.system.solicitations.requested_ids()

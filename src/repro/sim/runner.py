@@ -57,6 +57,20 @@ class SimulationResult:
         """Every VP (actual + guard) across all minutes."""
         return [vp for vps in self.vps_by_minute.values() for vp in vps]
 
+    def ingest_into(self, database) -> int:
+        """Batch-insert every produced VP into a VP database (or store).
+
+        Uses the ``insert_many`` batch path one minute at a time — the
+        same shape a city-scale authority sees from batched uploads —
+        and returns how many VPs were newly stored.  ``database`` is
+        anything exposing ``insert_many`` (``VPDatabase`` or a raw
+        ``repro.store`` backend).
+        """
+        return sum(
+            database.insert_many(self.vps_by_minute[minute])
+            for minute in sorted(self.vps_by_minute)
+        )
+
     def actual_vps(self, minute: int) -> list[ViewProfile]:
         """Actual VPs of a minute (ground-truth filtered)."""
         return [

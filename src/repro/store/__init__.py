@@ -1,0 +1,66 @@
+"""repro.store — pluggable, spatially-indexed, persistent VP storage.
+
+The authority's VP database is a facade over one of these interchangeable
+backends (all implementing the :class:`~repro.store.base.VPStore`
+contract):
+
+* :class:`~repro.store.memory.MemoryStore` — per-minute uniform spatial
+  grid; fastest, volatile.  The default, and the right choice for
+  simulations and tests.
+* :class:`~repro.store.sqlite.SQLiteStore` — persistent single-file
+  backend with minute+bounding-box indexes; survives restarts and scales
+  past RAM.  Pick it for a long-lived authority.
+* :class:`~repro.store.sharded.ShardedStore` — hash-partitions minutes
+  across N inner backends to model horizontal scale-out.  Pick it when
+  one node cannot absorb a city's upload stream.
+
+:func:`make_store` maps the CLI-facing backend names to instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.store.base import StoreStats, VPStore
+from repro.store.codec import decode_vp, encode_vp
+from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
+from repro.store.memory import MemoryStore
+from repro.store.sharded import ShardedStore
+from repro.store.sqlite import SQLiteStore
+
+#: backend names accepted by make_store and the CLI ``--store`` option
+STORE_KINDS = ("memory", "sqlite", "sharded")
+
+
+def make_store(
+    kind: str = "memory",
+    path: str = "",
+    n_shards: int = 4,
+    cell_m: float = DEFAULT_CELL_M,
+) -> VPStore:
+    """Build a VP store backend from a CLI-style description.
+
+    ``path`` only applies to ``sqlite`` (empty means a private in-memory
+    database); ``n_shards``/``cell_m`` tune sharded/memory backends.
+    """
+    if kind == "memory":
+        return MemoryStore(cell_m=cell_m)
+    if kind == "sqlite":
+        return SQLiteStore(path or ":memory:")
+    if kind == "sharded":
+        return ShardedStore.memory(n_shards=n_shards, cell_m=cell_m)
+    raise ValidationError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")
+
+
+__all__ = [
+    "DEFAULT_CELL_M",
+    "MemoryStore",
+    "STORE_KINDS",
+    "ShardedStore",
+    "SpatialGrid",
+    "SQLiteStore",
+    "StoreStats",
+    "VPStore",
+    "decode_vp",
+    "encode_vp",
+    "make_store",
+]

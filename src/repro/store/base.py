@@ -1,0 +1,178 @@
+"""The VP store backend contract shared by every storage engine.
+
+A *store* is the authority's durable memory of uploaded view profiles.
+The service layer (``repro.core.database.VPDatabase``) is a thin facade
+over one of these backends, so swapping a flat in-memory index for a
+persistent SQLite file or a sharded fleet never touches investigation
+code.
+
+Backends must agree exactly on semantics so they are interchangeable:
+
+* ``insert`` rejects duplicate VP identifiers with ``ValidationError``;
+* ``insert_many`` skips duplicates (idempotent batch ingest) and returns
+  how many VPs were newly stored;
+* minute-scoped queries (``by_minute``, ``by_minute_in_area``,
+  ``trusted_by_minute``) return VPs in insertion order;
+* ``by_minute_in_area`` returns a VP iff any of its claimed positions
+  lies inside the (closed) query rectangle — identical to a full linear
+  scan, however the backend prunes candidates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.viewprofile import ViewProfile
+from repro.errors import ValidationError
+from repro.geo.geometry import Point, Rect
+
+DUPLICATE_ID_MESSAGE = "a VP with this identifier already exists"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate health/occupancy numbers reported by every backend."""
+
+    backend: str
+    vps: int
+    trusted: int
+    minutes: int
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+def vp_claims_in_area(vp: ViewProfile, area: Rect) -> bool:
+    """Exact membership test: does the VP claim any position in ``area``?"""
+    pos = vp.positions_array
+    inside = (
+        (pos[:, 0] >= area.x_min)
+        & (pos[:, 0] <= area.x_max)
+        & (pos[:, 1] >= area.y_min)
+        & (pos[:, 1] <= area.y_max)
+    )
+    return bool(inside.any())
+
+
+def vp_bounding_box(vp: ViewProfile) -> tuple[float, float, float, float]:
+    """(x_min, y_min, x_max, y_max) over the VP's claimed positions."""
+    pos = vp.positions_array
+    return (
+        float(pos[:, 0].min()),
+        float(pos[:, 1].min()),
+        float(pos[:, 0].max()),
+        float(pos[:, 1].max()),
+    )
+
+
+def min_squared_distance(vp: ViewProfile, site: Point) -> float:
+    """Squared distance from ``site`` to the VP's nearest claimed position."""
+    pos = vp.positions_array
+    dx = pos[:, 0] - site.x
+    dy = pos[:, 1] - site.y
+    return float(np.min(dx * dx + dy * dy))
+
+
+class VPStore(ABC):
+    """Abstract VP storage backend (see module docstring for semantics)."""
+
+    #: short backend identifier used in stats and CLI output
+    kind: str = "abstract"
+
+    # -- writes ------------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, vp: ViewProfile) -> None:
+        """Store one VP; raises ``ValidationError`` on a duplicate id."""
+
+    def insert_trusted(self, vp: ViewProfile) -> None:
+        """Store a VP through the authority path, marking it trusted.
+
+        The trusted flag is set only after duplicate validation so a
+        rejected insert never mutates the caller's object.
+        """
+        if vp.vp_id in self:
+            raise ValidationError(DUPLICATE_ID_MESSAGE)
+        vp.trusted = True
+        self.insert(vp)
+
+    def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        """Batch-ingest VPs, skipping duplicates; returns how many landed."""
+        vps = list(vps)
+        existing = self.existing_ids([vp.vp_id for vp in vps])
+        inserted = 0
+        for vp in vps:
+            if vp.vp_id in existing:
+                continue
+            existing.add(vp.vp_id)
+            self.insert(vp)
+            inserted += 1
+        return inserted
+
+    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        """Which of these identifiers are already stored (one batch probe).
+
+        Backends override this with a single indexed query; the batch
+        upload front-end uses it to reject duplicates per VP without a
+        per-VP store round-trip.
+        """
+        return {vp_id for vp_id in vp_ids if vp_id in self}
+
+    # -- point reads -------------------------------------------------------
+
+    @abstractmethod
+    def get(self, vp_id: bytes) -> ViewProfile | None:
+        """Fetch one VP by identifier."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Total stored VPs."""
+
+    @abstractmethod
+    def __contains__(self, vp_id: bytes) -> bool:
+        """True when a VP with this identifier is stored."""
+
+    # -- minute/area queries -----------------------------------------------
+
+    @abstractmethod
+    def minutes(self) -> list[int]:
+        """Sorted minute indices with at least one stored VP."""
+
+    @abstractmethod
+    def by_minute(self, minute: int) -> list[ViewProfile]:
+        """All VPs covering one minute, in insertion order."""
+
+    @abstractmethod
+    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
+        """VPs of a minute claiming any location inside ``area``."""
+
+    @abstractmethod
+    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
+        """Trusted VPs of one minute, in insertion order."""
+
+    def nearest_trusted(self, minute: int, site: Point, k: int = 1) -> list[ViewProfile]:
+        """The k trusted VPs of a minute closest to the investigation site.
+
+        Distance is point-to-trajectory, vectorized over the VP's
+        ``positions_array``; ties keep insertion order (stable sort).
+        """
+        trusted = self.trusted_by_minute(minute)
+        trusted.sort(key=lambda vp: min_squared_distance(vp, site))
+        return trusted[:k]
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """Occupancy snapshot for dashboards and benchmarks."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-memory backends)."""
+
+    def __enter__(self) -> "VPStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

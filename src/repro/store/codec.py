@@ -1,0 +1,58 @@
+"""Storage blob codec for view profiles.
+
+The network wire format (:mod:`repro.net.messages`) only carries
+*complete* 60-digest VPs; storage must also round-trip partial VPs (the
+test and simulation corpus includes shorter ones), so the store uses its
+own self-describing blob:
+
+    version (1B) | bloom k (2B) | len-prefixed packed digests | bloom bits
+
+built from the same :mod:`repro.util.encoding` primitives as the wire
+formats.  The trusted flag deliberately lives *outside* the blob (as a
+backend column), mirroring the rule that trust is asserted by the
+ingestion path, never by serialized content.
+"""
+
+from __future__ import annotations
+
+from repro.constants import VD_MESSAGE_BYTES
+from repro.core.viewdigest import ViewDigest
+from repro.core.viewprofile import ViewProfile
+from repro.crypto.bloom import BloomFilter
+from repro.errors import WireFormatError
+from repro.util.encoding import pack_prefixed, pack_uint, unpack_prefixed, unpack_uint
+
+VP_BLOB_VERSION = 1
+
+
+def encode_vp(vp: ViewProfile) -> bytes:
+    """Serialize one VP (of any digest count) to its storage blob."""
+    digest_block = b"".join(vd.pack() for vd in vp.digests)
+    return (
+        pack_uint(VP_BLOB_VERSION, 1)
+        + pack_uint(vp.bloom.k, 2)
+        + pack_prefixed(digest_block)
+        + vp.bloom.to_bytes()
+    )
+
+
+def decode_vp(blob: bytes, trusted: bool = False) -> ViewProfile:
+    """Rebuild a VP from its storage blob; trust comes from the backend."""
+    if len(blob) < 3:
+        raise WireFormatError("VP blob too short for header")
+    version = unpack_uint(blob[0:1])
+    if version != VP_BLOB_VERSION:
+        raise WireFormatError(f"unsupported VP blob version {version}")
+    bloom_k = unpack_uint(blob[1:3])
+    digest_block, offset = unpack_prefixed(blob, 3)
+    if len(digest_block) % VD_MESSAGE_BYTES:
+        raise WireFormatError(
+            f"digest block of {len(digest_block)} bytes is not a multiple "
+            f"of {VD_MESSAGE_BYTES}"
+        )
+    digests = [
+        ViewDigest.unpack(digest_block[i : i + VD_MESSAGE_BYTES])
+        for i in range(0, len(digest_block), VD_MESSAGE_BYTES)
+    ]
+    bloom = BloomFilter.from_bytes(blob[offset:], k=bloom_k)
+    return ViewProfile(digests=digests, bloom=bloom, trusted=trusted)

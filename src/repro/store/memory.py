@@ -1,0 +1,84 @@
+"""In-memory VP store with a per-minute spatial grid index.
+
+The drop-in successor of the seed's flat dict database: identical
+semantics, but ``by_minute_in_area`` touches only the grid cells the
+query rectangle overlaps instead of linearly scanning every VP of the
+minute (see :mod:`repro.store.grid`).  Objects are stored by reference,
+so ``get`` returns the exact instance that was inserted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.viewprofile import ViewProfile
+from repro.errors import ValidationError
+from repro.geo.geometry import Rect
+from repro.store.base import DUPLICATE_ID_MESSAGE, StoreStats, VPStore
+from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
+
+
+class MemoryStore(VPStore):
+    """Minute- and grid-indexed in-memory backend."""
+
+    kind = "memory"
+
+    def __init__(self, cell_m: float = DEFAULT_CELL_M) -> None:
+        self.cell_m = cell_m
+        self._by_id: dict[bytes, ViewProfile] = {}
+        self._by_minute: dict[int, list[ViewProfile]] = defaultdict(list)
+        self._grids: dict[int, SpatialGrid] = {}
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, vp: ViewProfile) -> None:
+        if vp.vp_id in self._by_id:
+            raise ValidationError(DUPLICATE_ID_MESSAGE)
+        self._by_id[vp.vp_id] = vp
+        self._by_minute[vp.minute].append(vp)
+        grid = self._grids.get(vp.minute)
+        if grid is None:
+            grid = self._grids[vp.minute] = SpatialGrid(cell_m=self.cell_m)
+        grid.insert(vp)
+
+    # -- point reads -------------------------------------------------------
+
+    def get(self, vp_id: bytes) -> ViewProfile | None:
+        return self._by_id.get(vp_id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, vp_id: bytes) -> bool:
+        return vp_id in self._by_id
+
+    # -- minute/area queries -----------------------------------------------
+
+    def minutes(self) -> list[int]:
+        return sorted(self._by_minute)
+
+    def by_minute(self, minute: int) -> list[ViewProfile]:
+        return list(self._by_minute.get(minute, []))
+
+    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
+        grid = self._grids.get(minute)
+        if grid is None:
+            return []
+        return grid.query(area)
+
+    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
+        return [vp for vp in self._by_minute.get(minute, []) if vp.trusted]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            backend=self.kind,
+            vps=len(self._by_id),
+            trusted=sum(1 for vp in self._by_id.values() if vp.trusted),
+            minutes=len(self._by_minute),
+            detail={
+                "cell_m": self.cell_m,
+                "grid_cells": sum(g.n_cells for g in self._grids.values()),
+            },
+        )

@@ -1,0 +1,129 @@
+"""Horizontal scale-out: hash-partition VPs by minute across backends.
+
+Models the authority running N storage nodes: every VP is routed to
+``shards[minute % N]``, so a whole minute — the unit of investigation —
+lives on exactly one shard and minute/area queries touch a single
+backend.  Point lookups (``get``/``in``) probe shards in order, because
+an anonymous identifier carries no minute information.
+
+Shards can be any mix of backends (memory for hot minutes, SQLite for
+durable ones); the convenience constructors build homogeneous fleets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.viewprofile import ViewProfile
+from repro.errors import ValidationError
+from repro.geo.geometry import Rect
+from repro.store.base import DUPLICATE_ID_MESSAGE, StoreStats, VPStore
+from repro.store.grid import DEFAULT_CELL_M
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+
+class ShardedStore(VPStore):
+    """Minute-partitioned wrapper over a fleet of VP store backends."""
+
+    kind = "sharded"
+
+    def __init__(self, shards: Sequence[VPStore]) -> None:
+        if not shards:
+            raise ValidationError("a sharded store needs at least one shard")
+        self.shards = list(shards)
+
+    @classmethod
+    def memory(cls, n_shards: int = 4, cell_m: float = DEFAULT_CELL_M) -> "ShardedStore":
+        """A fleet of in-memory shards."""
+        return cls([MemoryStore(cell_m=cell_m) for _ in range(n_shards)])
+
+    @classmethod
+    def sqlite(cls, paths: Sequence[str]) -> "ShardedStore":
+        """A fleet of SQLite shards, one database file per path."""
+        return cls([SQLiteStore(path) for path in paths])
+
+    def shard_for(self, minute: int) -> VPStore:
+        """The backend owning one minute's VPs."""
+        return self.shards[minute % len(self.shards)]
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, vp: ViewProfile) -> None:
+        # the duplicate-id check must span ALL shards: the same R value
+        # at a different minute would otherwise land on a second shard
+        if vp.vp_id in self:
+            raise ValidationError(DUPLICATE_ID_MESSAGE)
+        self.shard_for(vp.minute).insert(vp)
+
+    def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        vps = list(vps)
+        existing = self.existing_ids([vp.vp_id for vp in vps])
+        by_shard: dict[int, list[ViewProfile]] = {}
+        for vp in vps:
+            if vp.vp_id in existing:
+                continue
+            existing.add(vp.vp_id)
+            by_shard.setdefault(vp.minute % len(self.shards), []).append(vp)
+        return sum(
+            self.shards[idx].insert_many(batch) for idx, batch in by_shard.items()
+        )
+
+    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        ids = list(vp_ids)
+        found: set[bytes] = set()
+        for shard in self.shards:
+            found |= shard.existing_ids(ids)
+        return found
+
+    # -- point reads -------------------------------------------------------
+
+    def get(self, vp_id: bytes) -> ViewProfile | None:
+        for shard in self.shards:
+            vp = shard.get(vp_id)
+            if vp is not None:
+                return vp
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, vp_id: bytes) -> bool:
+        return any(vp_id in shard for shard in self.shards)
+
+    # -- minute/area queries -----------------------------------------------
+
+    def minutes(self) -> list[int]:
+        out: set[int] = set()
+        for shard in self.shards:
+            out.update(shard.minutes())
+        return sorted(out)
+
+    def by_minute(self, minute: int) -> list[ViewProfile]:
+        return self.shard_for(minute).by_minute(minute)
+
+    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
+        return self.shard_for(minute).by_minute_in_area(minute, area)
+
+    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
+        return self.shard_for(minute).trusted_by_minute(minute)
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def stats(self) -> StoreStats:
+        per_shard = [shard.stats() for shard in self.shards]
+        return StoreStats(
+            backend=self.kind,
+            vps=sum(s.vps for s in per_shard),
+            trusted=sum(s.trusted for s in per_shard),
+            minutes=len(self.minutes()),
+            detail={
+                "n_shards": len(self.shards),
+                "shard_backends": [s.backend for s in per_shard],
+                "shard_vps": [s.vps for s in per_shard],
+            },
+        )
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()

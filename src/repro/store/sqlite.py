@@ -1,0 +1,186 @@
+"""Persistent VP store on SQLite.
+
+Survives authority restarts and scales past RAM: VPs live as storage
+blobs (:mod:`repro.store.codec`) in a single table keyed by the VP
+identifier, with a ``(minute, bbox)`` index so area queries prune on the
+trajectory bounding box before the exact per-point check.  Insertion
+order is preserved via rowid, so query results are byte-for-byte
+interchangeable with :class:`~repro.store.memory.MemoryStore`.
+
+``path=":memory:"`` gives a private throwaway database (useful in tests
+and benchmarks); any filesystem path gives durability.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable
+
+from repro.core.viewprofile import ViewProfile
+from repro.errors import StorageError, ValidationError
+from repro.geo.geometry import Rect
+from repro.store.base import (
+    DUPLICATE_ID_MESSAGE,
+    StoreStats,
+    VPStore,
+    vp_bounding_box,
+    vp_claims_in_area,
+)
+from repro.store.codec import decode_vp, encode_vp
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS vps (
+    vp_id   BLOB PRIMARY KEY,
+    minute  INTEGER NOT NULL,
+    trusted INTEGER NOT NULL DEFAULT 0,
+    x_min   REAL NOT NULL,
+    y_min   REAL NOT NULL,
+    x_max   REAL NOT NULL,
+    y_max   REAL NOT NULL,
+    body    BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_vps_minute ON vps (minute);
+CREATE INDEX IF NOT EXISTS idx_vps_minute_bbox
+    ON vps (minute, x_min, x_max, y_min, y_max);
+CREATE INDEX IF NOT EXISTS idx_vps_minute_trusted ON vps (minute, trusted);
+"""
+
+
+class SQLiteStore(VPStore):
+    """Durable minute- and bbox-indexed backend on the stdlib sqlite3."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        try:
+            self._conn = sqlite3.connect(path)
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open VP store at {path!r}: {exc}") from exc
+
+    # -- row mapping -------------------------------------------------------
+
+    @staticmethod
+    def _row_of(vp: ViewProfile) -> tuple:
+        x_min, y_min, x_max, y_max = vp_bounding_box(vp)
+        return (
+            vp.vp_id,
+            vp.minute,
+            int(vp.trusted),
+            x_min,
+            y_min,
+            x_max,
+            y_max,
+            encode_vp(vp),
+        )
+
+    @staticmethod
+    def _vp_of(body: bytes, trusted: int) -> ViewProfile:
+        return decode_vp(bytes(body), trusted=bool(trusted))
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, vp: ViewProfile) -> None:
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO vps VALUES (?, ?, ?, ?, ?, ?, ?, ?)", self._row_of(vp)
+                )
+        except sqlite3.IntegrityError as exc:
+            raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+
+    def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        rows = [self._row_of(vp) for vp in vps]
+        before = self._conn.total_changes
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO vps VALUES (?, ?, ?, ?, ?, ?, ?, ?)", rows
+            )
+        return self._conn.total_changes - before
+
+    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        found: set[bytes] = set()
+        ids = list(vp_ids)
+        chunk = 500  # stay under SQLite's bound-parameter limit
+        for start in range(0, len(ids), chunk):
+            part = ids[start : start + chunk]
+            marks = ",".join("?" * len(part))
+            rows = self._conn.execute(
+                f"SELECT vp_id FROM vps WHERE vp_id IN ({marks})", part
+            ).fetchall()
+            found.update(vp_id for (vp_id,) in rows)
+        return found
+
+    # -- point reads -------------------------------------------------------
+
+    def get(self, vp_id: bytes) -> ViewProfile | None:
+        row = self._conn.execute(
+            "SELECT body, trusted FROM vps WHERE vp_id = ?", (vp_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        return self._vp_of(*row)
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM vps").fetchone()[0]
+
+    def __contains__(self, vp_id: bytes) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM vps WHERE vp_id = ?", (vp_id,)
+        ).fetchone()
+        return row is not None
+
+    # -- minute/area queries -----------------------------------------------
+
+    def minutes(self) -> list[int]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT minute FROM vps ORDER BY minute"
+        ).fetchall()
+        return [m for (m,) in rows]
+
+    def by_minute(self, minute: int) -> list[ViewProfile]:
+        rows = self._conn.execute(
+            "SELECT body, trusted FROM vps WHERE minute = ? ORDER BY rowid", (minute,)
+        ).fetchall()
+        return [self._vp_of(*row) for row in rows]
+
+    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
+        rows = self._conn.execute(
+            "SELECT body, trusted FROM vps"
+            " WHERE minute = ? AND x_max >= ? AND x_min <= ?"
+            " AND y_max >= ? AND y_min <= ? ORDER BY rowid",
+            (minute, area.x_min, area.x_max, area.y_min, area.y_max),
+        ).fetchall()
+        candidates = (self._vp_of(*row) for row in rows)
+        return [vp for vp in candidates if vp_claims_in_area(vp, area)]
+
+    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
+        rows = self._conn.execute(
+            "SELECT body, trusted FROM vps WHERE minute = ? AND trusted = 1"
+            " ORDER BY rowid",
+            (minute,),
+        ).fetchall()
+        return [self._vp_of(*row) for row in rows]
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def stats(self) -> StoreStats:
+        total = len(self)
+        trusted = self._conn.execute(
+            "SELECT COUNT(*) FROM vps WHERE trusted = 1"
+        ).fetchone()[0]
+        n_minutes = self._conn.execute(
+            "SELECT COUNT(DISTINCT minute) FROM vps"
+        ).fetchone()[0]
+        return StoreStats(
+            backend=self.kind,
+            vps=total,
+            trusted=trusted,
+            minutes=n_minutes,
+            detail={"path": self.path},
+        )
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,40 @@
+"""Shared helpers for the VP store backend tests."""
+
+from __future__ import annotations
+
+from repro.core.neighbors import NeighborTable
+from repro.core.viewdigest import VDGenerator, make_secret
+from repro.core.viewprofile import ViewProfile, build_view_profile
+from repro.geo.geometry import Point
+
+
+def make_vp(
+    seed: int = 1,
+    n: int = 4,
+    minute: int = 0,
+    x0: float = 0.0,
+    y0: float = 0.0,
+    step: float = 10.0,
+) -> ViewProfile:
+    """A small deterministic VP at a chosen minute and location."""
+    gen = VDGenerator(make_secret(seed))
+    base = minute * 60.0
+    for i in range(n):
+        gen.tick(base + i + 1, Point(x0 + step * i, y0), b"chunk")
+    return build_view_profile(gen.digests, NeighborTable())
+
+
+def fingerprint(vp: ViewProfile) -> tuple:
+    """Content identity of a VP, independent of object identity."""
+    return (
+        vp.vp_id,
+        tuple(vd.pack() for vd in vp.digests),
+        vp.bloom.to_bytes(),
+        vp.bloom.k,
+        vp.trusted,
+    )
+
+
+def fingerprints(vps: list[ViewProfile]) -> list[tuple]:
+    """Ordered content identities of a VP list."""
+    return [fingerprint(vp) for vp in vps]

@@ -1,0 +1,109 @@
+"""Tests for the minute-partitioned sharded VP store."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.geometry import Point, Rect
+from repro.store import MemoryStore, ShardedStore
+from tests.store.conftest import fingerprints, make_vp
+
+
+class TestRouting:
+    def test_minute_routes_to_one_shard(self):
+        store = ShardedStore.memory(n_shards=3)
+        vps = [make_vp(seed=i, minute=i) for i in range(6)]
+        store.insert_many(vps)
+        for minute, vp in enumerate(vps):
+            shard = store.shard_for(minute)
+            assert vp.vp_id in shard
+            others = [s for s in store.shards if s is not shard]
+            assert all(vp.vp_id not in s for s in others)
+
+    def test_cross_shard_point_lookup(self):
+        store = ShardedStore.memory(n_shards=4)
+        vps = [make_vp(seed=i, minute=i) for i in range(8)]
+        for vp in vps:
+            store.insert(vp)
+        assert len(store) == 8
+        for vp in vps:
+            assert vp.vp_id in store
+            assert store.get(vp.vp_id) is vp
+        assert store.get(b"\x00" * 16) is None
+
+    def test_minutes_merged_across_shards(self):
+        store = ShardedStore.memory(n_shards=3)
+        for minute in (5, 1, 4):
+            store.insert(make_vp(seed=minute, minute=minute))
+        assert store.minutes() == [1, 4, 5]
+
+
+class TestSemantics:
+    def test_duplicate_rejected_across_wrapper(self):
+        store = ShardedStore.memory(n_shards=2)
+        store.insert(make_vp(seed=1))
+        with pytest.raises(ValidationError):
+            store.insert(make_vp(seed=1))
+
+    def test_cross_minute_duplicate_id_rejected(self):
+        # same R value claimed at two minutes routes to two different
+        # shards — the duplicate check must still span the whole fleet
+        store = ShardedStore.memory(n_shards=2)
+        store.insert(make_vp(seed=1, minute=0))
+        with pytest.raises(ValidationError):
+            store.insert(make_vp(seed=1, minute=1))
+        assert len(store) == 1
+
+    def test_cross_minute_duplicate_skipped_in_batch(self):
+        store = ShardedStore.memory(n_shards=2)
+        vps = [make_vp(seed=1, minute=0), make_vp(seed=1, minute=1), make_vp(seed=2, minute=1)]
+        assert store.insert_many(vps) == 2
+        assert len(store) == 2
+        assert store.by_minute(1) == [vps[2]]
+
+    def test_existing_ids_spans_shards(self):
+        store = ShardedStore.memory(n_shards=3)
+        vps = [make_vp(seed=i, minute=i) for i in range(3)]
+        store.insert_many(vps)
+        probe = [vp.vp_id for vp in vps] + [b"\x00" * 16]
+        assert store.existing_ids(probe) == {vp.vp_id for vp in vps}
+
+    def test_queries_delegate_to_owning_shard(self):
+        store = ShardedStore.memory(n_shards=2)
+        near = make_vp(seed=1, minute=3, x0=0.0)
+        far = make_vp(seed=2, minute=3, x0=9_000.0)
+        store.insert_trusted(near)
+        store.insert(far)
+        assert store.by_minute(3) == [near, far]
+        assert store.by_minute_in_area(3, Rect(-50, -50, 100, 50)) == [near]
+        assert store.trusted_by_minute(3) == [near]
+        assert store.nearest_trusted(3, Point(0, 0)) == [near]
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardedStore([])
+
+    def test_stats_aggregates(self):
+        store = ShardedStore.memory(n_shards=2)
+        store.insert(make_vp(seed=1, minute=0))
+        store.insert_trusted(make_vp(seed=2, minute=1))
+        stats = store.stats()
+        assert stats.backend == "sharded"
+        assert stats.vps == 2
+        assert stats.trusted == 1
+        assert stats.detail["n_shards"] == 2
+        assert sum(stats.detail["shard_vps"]) == 2
+
+
+class TestSqliteShards:
+    def test_sqlite_fleet_persists(self, tmp_path):
+        paths = [str(tmp_path / f"shard{i}.sqlite") for i in range(2)]
+        store = ShardedStore.sqlite(paths)
+        vps = [make_vp(seed=i, minute=i) for i in range(4)]
+        store.insert_many(vps)
+        store.close()
+
+        reopened = ShardedStore.sqlite(paths)
+        assert len(reopened) == 4
+        assert reopened.minutes() == [0, 1, 2, 3]
+        assert fingerprints(reopened.by_minute(2)) == fingerprints([vps[2]])
+        reopened.close()

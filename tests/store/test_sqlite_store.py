@@ -1,0 +1,112 @@
+"""Tests for the persistent SQLite VP store."""
+
+import pytest
+
+from repro.errors import ValidationError, WireFormatError
+from repro.geo.geometry import Point, Rect
+from repro.store import SQLiteStore, decode_vp, encode_vp
+from tests.store.conftest import fingerprint, fingerprints, make_vp
+
+
+class TestCodec:
+    def test_round_trip_partial_vp(self):
+        vp = make_vp(seed=1, n=3)
+        restored = decode_vp(encode_vp(vp))
+        assert fingerprint(restored) == fingerprint(vp)
+
+    def test_trusted_comes_from_backend_not_blob(self):
+        vp = make_vp(seed=2)
+        vp.trusted = True
+        restored = decode_vp(encode_vp(vp))
+        assert not restored.trusted
+        assert fingerprint(decode_vp(encode_vp(vp), trusted=True)) == fingerprint(vp)
+
+    def test_malformed_blobs_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_vp(b"")
+        with pytest.raises(WireFormatError):
+            decode_vp(b"\x07" + encode_vp(make_vp(seed=3))[1:])  # bad version
+        blob = encode_vp(make_vp(seed=3))
+        with pytest.raises(WireFormatError):
+            decode_vp(blob[:-300])  # truncated digest block
+
+
+class TestInsertQuery:
+    def test_insert_get_round_trip(self):
+        store = SQLiteStore()
+        vp = make_vp(seed=1)
+        store.insert(vp)
+        assert len(store) == 1
+        assert vp.vp_id in store
+        assert fingerprint(store.get(vp.vp_id)) == fingerprint(vp)
+        assert store.get(b"\x00" * 16) is None
+
+    def test_duplicate_rejected(self):
+        store = SQLiteStore()
+        vp = make_vp(seed=1)
+        store.insert(vp)
+        with pytest.raises(ValidationError):
+            store.insert(make_vp(seed=1))
+
+    def test_queries_preserve_insertion_order(self):
+        store = SQLiteStore()
+        vps = [make_vp(seed=i, minute=1, x0=50.0 * i) for i in range(6)]
+        store.insert_many(vps)
+        assert fingerprints(store.by_minute(1)) == fingerprints(vps)
+        area = Rect(-10, -10, 120, 10)
+        expected = [vp for vp in vps if vp.positions_array[:, 0].min() <= 120]
+        assert fingerprints(store.by_minute_in_area(1, area)) == fingerprints(expected)
+
+    def test_insert_many_skips_duplicates(self):
+        store = SQLiteStore()
+        a, b = make_vp(seed=1), make_vp(seed=2)
+        store.insert(a)
+        assert store.insert_many([a, b, b]) == 1
+        assert len(store) == 2
+
+    def test_trusted_flag_and_nearest(self):
+        store = SQLiteStore()
+        near = make_vp(seed=3, x0=0.0)
+        far = make_vp(seed=4, x0=4000.0)
+        store.insert_trusted(far)
+        store.insert_trusted(near)
+        store.insert(make_vp(seed=5, x0=1.0))  # anonymous, must not appear
+        assert fingerprints(store.trusted_by_minute(0)) == fingerprints([far, near])
+        best = store.nearest_trusted(0, Point(0, 0), k=1)
+        assert fingerprints(best) == fingerprints([near])
+
+
+class TestPersistence:
+    def test_survives_close_and_reopen(self, tmp_path):
+        path = str(tmp_path / "vps.sqlite")
+        store = SQLiteStore(path)
+        vps = [make_vp(seed=i, minute=i % 2, x0=100.0 * i) for i in range(8)]
+        store.insert_many(vps)
+        sentinel = make_vp(seed=99, minute=0)
+        store.insert_trusted(sentinel)
+        expected_m0 = fingerprints(store.by_minute(0))
+        store.close()
+
+        reopened = SQLiteStore(path)
+        assert len(reopened) == 9
+        assert reopened.minutes() == [0, 1]
+        assert fingerprints(reopened.by_minute(0)) == expected_m0
+        assert len(reopened.trusted_by_minute(0)) == 1
+        from repro.store.base import vp_claims_in_area
+
+        area = Rect(-10, -10, 250, 10)
+        expected = [
+            vp
+            for vp in vps + [sentinel]
+            if vp.minute == 0 and vp_claims_in_area(vp, area)
+        ]
+        assert fingerprints(reopened.by_minute_in_area(0, area)) == fingerprints(expected)
+        reopened.close()
+
+    def test_stats(self):
+        store = SQLiteStore()
+        store.insert(make_vp(seed=1))
+        stats = store.stats()
+        assert stats.backend == "sqlite"
+        assert stats.vps == 1
+        assert stats.detail["path"] == ":memory:"

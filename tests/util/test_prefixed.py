@@ -1,0 +1,33 @@
+"""Tests for the length-prefixed section helpers in the encoding module."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.util.encoding import pack_prefixed, unpack_prefixed
+
+
+class TestPrefixed:
+    def test_round_trip(self):
+        blob = pack_prefixed(b"hello") + b"tail"
+        payload, offset = unpack_prefixed(blob)
+        assert payload == b"hello"
+        assert blob[offset:] == b"tail"
+
+    def test_empty_payload(self):
+        payload, offset = unpack_prefixed(pack_prefixed(b""))
+        assert payload == b""
+        assert offset == 4
+
+    def test_offset_and_width(self):
+        blob = b"xx" + pack_prefixed(b"abc", width=2)
+        payload, offset = unpack_prefixed(blob, offset=2, width=2)
+        assert payload == b"abc"
+        assert offset == len(blob)
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_prefixed(b"\x00\x00")
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_prefixed(pack_prefixed(b"abcdef")[:-2])
