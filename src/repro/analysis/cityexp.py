@@ -42,13 +42,16 @@ def city_viewmap_stats(
     seed: int = 0,
     label: str | None = None,
     store: VPStore | str | None = None,
+    workers: int = 1,
 ) -> tuple[CityViewmapStats, ViewMapGraph]:
     """Simulate one minute of city traffic and build its viewmap.
 
     The simulated VP corpus is batch-ingested into an authority VP
     database before the viewmap is built, exercising the real ingest →
     query path.  ``store`` selects the storage backend (an instance or a
-    :func:`repro.store.make_store` kind name; default in-memory).
+    :func:`repro.store.make_store` kind name; default in-memory);
+    ``workers`` > 1 drives the ingest from that many concurrent uploader
+    threads (the stores are thread-safe).
     """
     scn = city_scenario(
         area_km=area_km,
@@ -68,7 +71,10 @@ def city_viewmap_stats(
     if isinstance(store, str):
         store = make_store(store)
     database = VPDatabase(store=store) if store is not None else VPDatabase()
-    result.ingest_into(database)
+    if workers > 1:
+        result.ingest_concurrently(database, workers=workers)
+    else:
+        result.ingest_into(database)
     vmap = build_viewmap(database.by_minute(0), minute=0)
     stats = vmap.degree_stats()
     n_counts = list(result.neighbor_counts[0].values())

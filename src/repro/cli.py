@@ -83,7 +83,7 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
     store = make_store(args.store, path=args.store_path, n_shards=args.shards)
     stats, vmap = city_viewmap_stats(
         args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed,
-        store=store,
+        store=store, workers=args.workers,
     )
     occupancy = store.stats()
     print(f"store: {occupancy.backend} ({occupancy.vps} VPs, "
@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--shards", type=int, default=4, help="shard count for --store sharded"
+        )
+        cmd.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="concurrent uploader threads driving ingest (1 = serial)",
         )
     return parser
 

@@ -11,6 +11,15 @@
   hash replay, then queue them for human review;
 * **reward** — post reward offers for reviewed videos and issue
   untraceable cash via blind signatures.
+
+Concurrency: the ingestion methods are safe to call from many threads —
+they validate their arguments without touching shared state and delegate
+to the (thread-safe) VP store.  The investigation/upload/reward methods
+mutate plain dict/set state and must be externally serialized.  The
+concurrent front-end (:class:`~repro.net.concurrency.ConcurrentViewMapServer`)
+serializes its own control-plane *handlers* behind ``control_lock``;
+operator code calling these methods directly while such a server is
+live must hold that same lock (``with server.control_lock: ...``).
 """
 
 from __future__ import annotations
@@ -196,3 +205,19 @@ class ViewMapSystem:
         self.reviewed.add(vp_id)
         del self.pending_review[vp_id]
         self.rewards.post_reward(vp_id, units or self.reward_units)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release storage resources (connections, shard pools).
+
+        Quiesce the fronting network first; a persistent store keeps its
+        data, an in-memory one is gone.
+        """
+        self.database.close()
+
+    def __enter__(self) -> "ViewMapSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

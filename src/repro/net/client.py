@@ -5,6 +5,12 @@ id, "preventing the system from distinguishing among users by session
 ids" (Section 5.1.2).  After a successful upload the client deletes guard
 VPs from local storage, exactly as the protocol requires — a later
 solicitation of a guard VP therefore finds no owner.
+
+A client instance models ONE vehicle and is not itself thread-safe (its
+pending queue and cash wallet are plain lists).  Concurrency in the
+fleet-vs-authority sense means many clients on their own threads sharing
+one :class:`~repro.net.concurrency.ThreadedNetwork`; each client's
+requests still serialize within itself, like a real on-board unit.
 """
 
 from __future__ import annotations

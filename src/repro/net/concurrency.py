@@ -1,0 +1,224 @@
+"""Concurrent authority front-end: a worker-pool fabric and server.
+
+The serial :class:`~repro.net.transport.InMemoryNetwork` delivers one
+request at a time, so the authority's storage backends never see
+contention and a fleet of uploading vehicles queues behind a single
+in-flight request.  This module adds the concurrent execution model on
+top of the same ``register``/``send`` contract:
+
+* :class:`ThreadedNetwork` — a drop-in fabric that dispatches deliveries
+  across a bounded worker pool.  ``send`` blocks for the reply (so every
+  existing client works unchanged) while ``send_async`` returns a future,
+  letting one caller keep many requests in flight.  Requests overlap
+  wherever the work releases the GIL: the modeled last-mile latency,
+  SQLite stepping/commit I/O, and hashing.
+* :class:`ConcurrentViewMapServer` — the
+  :class:`~repro.net.server.ViewMapServer` hardened for that fabric: a
+  lock-guarded session log, and a coarse state lock around the
+  control-plane handlers (solicitations, video review, rewards) whose
+  system state is not internally synchronized.  The upload paths stay
+  lock-free because every ``repro.store`` backend is thread-safe.
+
+Nested deliveries (an onion relay forwarding to the next hop from inside
+a handler) run inline on the worker that is already driving the request.
+Re-submitting them to the pool could deadlock once every worker is
+waiting on an inner hop; one worker therefore drives a request through
+its whole relay chain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.net.server import Handler as MessageHandler
+from repro.net.server import ViewMapServer
+from repro.net.transport import Endpoint, Handler
+
+#: default worker-pool width — sized for overlapping I/O-bound requests,
+#: not CPU parallelism, so it intentionally exceeds typical core counts
+DEFAULT_WORKERS = 8
+
+
+class ThreadedNetwork:
+    """Worker-pool message fabric, contract-compatible with the serial one.
+
+    Up to ``workers`` deliveries execute concurrently; excess requests
+    queue inside the pool.  The delivery log and endpoint table are
+    lock-guarded, so handlers may register/unregister endpoints and
+    privacy probes may read the log while traffic is in flight.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS, latency_s: float = 0.0) -> None:
+        if workers < 1:
+            raise NetworkError("a threaded network needs at least one worker")
+        self.workers = workers
+        #: modeled per-delivery round-trip latency in seconds (0 = instant)
+        self.latency_s = latency_s
+        #: (source, destination, payload_size) triples seen by the fabric
+        self.delivery_log: list[tuple[str, str, int]] = []
+        self._endpoints: dict[str, Endpoint] = {}
+        self._lock = threading.RLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-net"
+        )
+        self._on_worker = threading.local()
+        self._closed = False
+
+    # -- endpoint table ------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> Endpoint:
+        """Attach a handler at an address."""
+        with self._lock:
+            if address in self._endpoints:
+                raise NetworkError(f"address already registered: {address}")
+            endpoint = Endpoint(address=address, handler=handler)
+            self._endpoints[address] = endpoint
+            return endpoint
+
+    def unregister(self, address: str) -> None:
+        """Detach an endpoint."""
+        with self._lock:
+            self._endpoints.pop(address, None)
+
+    def addresses(self) -> list[str]:
+        """All registered addresses."""
+        with self._lock:
+            return sorted(self._endpoints)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _deliver(self, source: str, destination: str, payload: bytes) -> bytes:
+        """Run one delivery on the current thread (worker or caller)."""
+        with self._lock:
+            endpoint = self._endpoints.get(destination)
+        if endpoint is None:
+            raise NetworkError(f"no endpoint at {destination}")
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+        with self._lock:
+            self.delivery_log.append((source, destination, len(payload)))
+        return endpoint.handler(payload)
+
+    def _worker_deliver(self, source: str, destination: str, payload: bytes) -> bytes:
+        """Pool entry point: marks the thread so nested sends run inline."""
+        self._on_worker.active = True
+        try:
+            return self._deliver(source, destination, payload)
+        finally:
+            self._on_worker.active = False
+
+    def send(self, source: str, destination: str, payload: bytes) -> bytes:
+        """Deliver a request and (block to) return the response.
+
+        From an ordinary thread the delivery is dispatched to the worker
+        pool; from inside a worker (a relay forwarding a wrapped onion
+        hop) it runs inline to keep the pool deadlock-free.
+        """
+        if getattr(self._on_worker, "active", False):
+            return self._deliver(source, destination, payload)
+        return self.send_async(source, destination, payload).result()
+
+    def send_async(self, source: str, destination: str, payload: bytes) -> "Future[bytes]":
+        """Dispatch a delivery to the pool and return its future.
+
+        The future yields the handler's bytes response, or raises the
+        handler's exception (``NetworkError`` for an unknown address).
+        Called from inside a worker the delivery runs inline and a
+        completed future is returned — waiting on a nested pool slot
+        could starve the pool.
+        """
+        if self._closed:
+            raise NetworkError("network is closed")
+        if getattr(self._on_worker, "active", False):
+            done: Future[bytes] = Future()
+            try:
+                done.set_result(self._deliver(source, destination, payload))
+            except BaseException as exc:  # propagate through the future
+                done.set_exception(exc)
+            return done
+        return self._pool.submit(self._worker_deliver, source, destination, payload)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain in-flight deliveries and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedNetwork":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _locked(lock: threading.RLock, handler: MessageHandler) -> MessageHandler:
+    """Serialize one message handler behind a lock."""
+
+    def guarded(message: dict[str, Any]) -> bytes:
+        with lock:
+            return handler(message)
+
+    return guarded
+
+
+@dataclass
+class ConcurrentViewMapServer(ViewMapServer):
+    """A ViewMap front-end safe to register on a :class:`ThreadedNetwork`.
+
+    Concurrency model (see ``docs/architecture.md``):
+
+    * the session log is appended under a dedicated lock, so
+      unlinkability probes read a consistent log during load;
+    * ``upload_vp`` / ``upload_vp_batch`` run without server-level locks
+      — duplicate suppression and insert atomicity are the storage
+      backend's job, and every ``repro.store`` backend provides them;
+    * the remaining control-plane handlers (solicitations, video upload,
+      rewards, signing) share one re-entrant state lock because the
+      system objects they touch are plain dict/set state.  The lock is
+      public as :attr:`control_lock`: operator code driving the system
+      directly (``system.investigate(...)``) while this server is live
+      must hold it too.
+
+    Under concurrent duplicate submissions of the *same* VP the per-VP
+    ``accepted`` flags of a batch ack are best-effort (both racing
+    requests may claim acceptance) while the store itself keeps exactly
+    one copy; ``inserted`` counts are always authoritative.
+    """
+
+    #: handler kinds serialized behind the control-plane state lock
+    GUARDED_KINDS = (
+        "list_solicitations",
+        "upload_video",
+        "list_rewards",
+        "claim_reward",
+        "sign_blinded",
+    )
+
+    def __post_init__(self) -> None:
+        self._log_lock = threading.Lock()
+        self._state_lock = threading.RLock()
+        super().__post_init__()
+        for kind in self.GUARDED_KINDS:
+            self._handlers[kind] = _locked(self._state_lock, self._handlers[kind])
+
+    @property
+    def control_lock(self) -> threading.RLock:
+        """The control-plane lock; hold it for direct system mutations.
+
+        Guards the solicitation board, review queue and reward state
+        against the guarded handlers — e.g.
+        ``with server.control_lock: system.investigate(site, minute)``
+        while upload traffic is in flight.
+        """
+        return self._state_lock
+
+    def _log_session(self, kind: str, session: str) -> None:
+        """Record one (kind, session id) observation, thread-safely."""
+        with self._log_lock:
+            self.session_log.append((kind, session))

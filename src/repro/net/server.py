@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.system import ViewMapSystem
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 from repro.net.messages import (
     decode_message,
     encode_message,
@@ -30,7 +30,16 @@ Handler = Callable[[dict[str, Any]], bytes]
 
 @dataclass
 class ViewMapServer:
-    """Network front-end for the ViewMap service."""
+    """Network front-end for the ViewMap service.
+
+    ``network`` is any fabric exposing the ``register``/``send`` contract
+    — the serial :class:`~repro.net.transport.InMemoryNetwork` (the
+    default execution model) or a
+    :class:`~repro.net.concurrency.ThreadedNetwork` worker pool.  On a
+    concurrent fabric use
+    :class:`~repro.net.concurrency.ConcurrentViewMapServer`, which
+    lock-guards the session log and control-plane handlers.
+    """
 
     system: ViewMapSystem
     network: InMemoryNetwork
@@ -57,7 +66,7 @@ class ViewMapServer:
         try:
             message = decode_message(payload)
             kind = message["kind"]
-            self.session_log.append((kind, message.get("session", "")))
+            self._log_session(kind, message.get("session", ""))
             handler = self._handlers.get(kind)
             if handler is None:
                 return encode_message("error", reason=f"unknown kind: {kind}")
@@ -65,13 +74,32 @@ class ViewMapServer:
         except ReproError as exc:
             return encode_message("error", reason=str(exc))
 
+    def _log_session(self, kind: str, session: str) -> None:
+        """Record one (kind, session id) observation for unlinkability tests.
+
+        The concurrent front-end overrides this with a lock-guarded
+        append; the serial server appends directly.
+        """
+        self.session_log.append((kind, session))
+
     # -- handlers ------------------------------------------------------------
 
     def _on_upload_vp(self, message: dict[str, Any]) -> bytes:
+        """Single-VP upload: duplicates get a rejection ack, never an error.
+
+        The ingest itself is the authoritative duplicate check — under a
+        concurrent fabric two racing uploads of the same VP both pass a
+        lookahead probe, and the loser must still receive the normal
+        duplicate ack rather than an error reply (which would abort the
+        client's upload loop).
+        """
         vp = unpack_view_profile(message["vp"])
         if vp.vp_id in self.system.database:
             return encode_message("ack", accepted=False, reason="duplicate")
-        self.system.ingest_vp(vp)
+        try:
+            self.system.ingest_vp(vp)
+        except ValidationError:
+            return encode_message("ack", accepted=False, reason="duplicate")
         return encode_message("ack", accepted=True)
 
     def _on_upload_vp_batch(self, message: dict[str, Any]) -> bytes:

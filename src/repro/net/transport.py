@@ -4,10 +4,18 @@ Endpoints register a handler under an address; ``send`` delivers a bytes
 payload and returns the handler's bytes response.  The network keeps a
 delivery log (addresses and sizes only — like a backbone observer) that
 privacy tests use to check what an eavesdropper could see.
+
+``latency_s`` models the last-mile round-trip of one delivery (e.g. a
+vehicle's WiFi upload hop).  It defaults to zero so functional tests are
+instant; throughput benchmarks raise it to study how the serial fabric
+compares with the worker-pool fabric in
+:class:`repro.net.concurrency.ThreadedNetwork`, which shares this
+``register``/``send`` contract.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -26,8 +34,16 @@ class Endpoint:
 
 @dataclass
 class InMemoryNetwork:
-    """Synchronous message fabric connecting endpoints by address."""
+    """Synchronous message fabric connecting endpoints by address.
 
+    Delivery is strictly serial: ``send`` invokes the destination handler
+    inline on the caller's thread, so at most one request is in flight at
+    any time.  This is the default fabric — deterministic, and the one
+    the privacy/unlinkability tests reason about.
+    """
+
+    #: modeled per-delivery round-trip latency in seconds (0 = instant)
+    latency_s: float = 0.0
     _endpoints: dict[str, Endpoint] = field(default_factory=dict)
     #: (source, destination, payload_size) triples seen by the fabric
     delivery_log: list[tuple[str, str, int]] = field(default_factory=list)
@@ -53,5 +69,7 @@ class InMemoryNetwork:
         endpoint = self._endpoints.get(destination)
         if endpoint is None:
             raise NetworkError(f"no endpoint at {destination}")
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
         self.delivery_log.append((source, destination, len(payload)))
         return endpoint.handler(payload)

@@ -71,6 +71,42 @@ class SimulationResult:
             for minute in sorted(self.vps_by_minute)
         )
 
+    def ingest_concurrently(self, database, workers: int = 4) -> int:
+        """Batch-insert every produced VP with N concurrent uploaders.
+
+        Replays the corpus through the same ``insert_many`` batch path
+        as :meth:`ingest_into`, but from a pool of ``workers`` threads —
+        the shape a city-scale authority sees when a fleet uploads over
+        WiFi simultaneously.  Each minute's output is split into enough
+        chunks that all workers stay busy even when the trace covers few
+        minutes.  ``database`` must be thread-safe (every ``repro.store``
+        backend and :class:`~repro.core.database.VPDatabase` over one).
+        Returns how many VPs were newly stored; the stored population is
+        identical to the serial path, though per-minute insertion order
+        may interleave differently.
+        """
+        minutes = sorted(self.vps_by_minute)
+        if workers <= 1 or not minutes:
+            return self.ingest_into(database)
+        chunks_per_minute = -(-workers // len(minutes))  # ceil division
+        batches: list[list[ViewProfile]] = []
+        for minute in minutes:
+            vps = self.vps_by_minute[minute]
+            if not vps:  # defaultdict reads can leave empty minutes behind
+                continue
+            n_chunks = min(chunks_per_minute, len(vps))
+            size = -(-len(vps) // n_chunks)
+            batches.extend(vps[s : s + size] for s in range(0, len(vps), size))
+        if not batches:
+            return 0
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(batches)), thread_name_prefix="repro-ingest"
+        ) as pool:
+            futures = [pool.submit(database.insert_many, batch) for batch in batches]
+            return sum(f.result() for f in futures)
+
     def actual_vps(self, minute: int) -> list[ViewProfile]:
         """Actual VPs of a minute (ground-truth filtered)."""
         return [

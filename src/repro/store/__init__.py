@@ -15,6 +15,13 @@ contract):
   one node cannot absorb a city's upload stream.
 
 :func:`make_store` maps the CLI-facing backend names to instances.
+
+Every backend is thread-safe behind the concurrent authority front-end
+(:mod:`repro.net.concurrency`): memory serializes on one re-entrant
+lock, SQLite pairs per-thread connections with a single-writer lock and
+an LRU decode cache, and sharded fleets fan batch inserts out to their
+(thread-safe) shards concurrently.  ``docs/stores.md`` is the selection
+and tuning guide.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.store.codec import decode_vp, encode_vp
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
 from repro.store.memory import MemoryStore
 from repro.store.sharded import ShardedStore
-from repro.store.sqlite import SQLiteStore
+from repro.store.sqlite import DEFAULT_DECODE_CACHE, SQLiteStore
 
 #: backend names accepted by make_store and the CLI ``--store`` option
 STORE_KINDS = ("memory", "sqlite", "sharded")
@@ -36,16 +43,19 @@ def make_store(
     path: str = "",
     n_shards: int = 4,
     cell_m: float = DEFAULT_CELL_M,
+    decode_cache: int = DEFAULT_DECODE_CACHE,
 ) -> VPStore:
     """Build a VP store backend from a CLI-style description.
 
     ``path`` only applies to ``sqlite`` (empty means a private in-memory
-    database); ``n_shards``/``cell_m`` tune sharded/memory backends.
+    database); ``n_shards``/``cell_m`` tune sharded/memory backends and
+    ``decode_cache`` bounds the SQLite blob-decode LRU (0 disables).
+    All backends are thread-safe (see ``docs/stores.md``).
     """
     if kind == "memory":
         return MemoryStore(cell_m=cell_m)
     if kind == "sqlite":
-        return SQLiteStore(path or ":memory:")
+        return SQLiteStore(path or ":memory:", decode_cache=decode_cache)
     if kind == "sharded":
         return ShardedStore.memory(n_shards=n_shards, cell_m=cell_m)
     raise ValidationError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")
@@ -53,6 +63,7 @@ def make_store(
 
 __all__ = [
     "DEFAULT_CELL_M",
+    "DEFAULT_DECODE_CACHE",
     "MemoryStore",
     "STORE_KINDS",
     "ShardedStore",

@@ -16,6 +16,15 @@ Backends must agree exactly on semantics so they are interchangeable:
 * ``by_minute_in_area`` returns a VP iff any of its claimed positions
   lies inside the (closed) query rectangle — identical to a full linear
   scan, however the backend prunes candidates.
+
+Since the concurrent front-end (:mod:`repro.net.concurrency`) landed,
+the contract also includes thread safety: every backend must tolerate
+concurrent calls from many threads, and ``insert_many`` must be atomic
+per backend — two racing batches containing the same VP id agree on one
+winner and the returned counts sum to the number of VPs actually stored.
+How each backend meets this (coarse lock, per-thread connections +
+single-writer lock, per-shard atomicity) is its own business; see
+``docs/stores.md``.
 """
 
 from __future__ import annotations
@@ -35,7 +44,14 @@ DUPLICATE_ID_MESSAGE = "a VP with this identifier already exists"
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Aggregate health/occupancy numbers reported by every backend."""
+    """Aggregate health/occupancy numbers reported by every backend.
+
+    ``backend`` is the reporting store's ``kind``; ``vps``/``trusted``/
+    ``minutes`` count stored VPs, trusted VPs and distinct minute
+    indices.  ``detail`` carries backend-specific gauges: grid occupancy
+    for memory, connection/decode-cache counters for SQLite, per-shard
+    breakdowns for sharded fleets.
+    """
 
     backend: str
     vps: int

@@ -5,26 +5,37 @@ semantics, but ``by_minute_in_area`` touches only the grid cells the
 query rectangle overlaps instead of linearly scanning every VP of the
 minute (see :mod:`repro.store.grid`).  Objects are stored by reference,
 so ``get`` returns the exact instance that was inserted.
+
+Thread safety: every public method runs under one re-entrant lock, so
+the store can sit behind a :class:`~repro.net.concurrency.ThreadedNetwork`
+front-end.  Batch inserts (``insert_many``) are atomic — concurrent
+batches containing the same VP ids dedupe correctly and the returned
+counts never double-count.  The coarse lock is deliberate: operations
+are short (dict/grid updates), so finer striping would buy little and
+cost invariants.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
+from typing import Iterable
 
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
-from repro.geo.geometry import Rect
+from repro.geo.geometry import Point, Rect
 from repro.store.base import DUPLICATE_ID_MESSAGE, StoreStats, VPStore
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
 
 
 class MemoryStore(VPStore):
-    """Minute- and grid-indexed in-memory backend."""
+    """Minute- and grid-indexed in-memory backend (lock-guarded)."""
 
     kind = "memory"
 
     def __init__(self, cell_m: float = DEFAULT_CELL_M) -> None:
         self.cell_m = cell_m
+        self._lock = threading.RLock()
         self._by_id: dict[bytes, ViewProfile] = {}
         self._by_minute: dict[int, list[ViewProfile]] = defaultdict(list)
         self._grids: dict[int, SpatialGrid] = {}
@@ -32,53 +43,86 @@ class MemoryStore(VPStore):
     # -- writes ------------------------------------------------------------
 
     def insert(self, vp: ViewProfile) -> None:
-        if vp.vp_id in self._by_id:
-            raise ValidationError(DUPLICATE_ID_MESSAGE)
-        self._by_id[vp.vp_id] = vp
-        self._by_minute[vp.minute].append(vp)
-        grid = self._grids.get(vp.minute)
-        if grid is None:
-            grid = self._grids[vp.minute] = SpatialGrid(cell_m=self.cell_m)
-        grid.insert(vp)
+        """Store one VP; raises ``ValidationError`` on a duplicate id."""
+        with self._lock:
+            if vp.vp_id in self._by_id:
+                raise ValidationError(DUPLICATE_ID_MESSAGE)
+            self._by_id[vp.vp_id] = vp
+            self._by_minute[vp.minute].append(vp)
+            grid = self._grids.get(vp.minute)
+            if grid is None:
+                grid = self._grids[vp.minute] = SpatialGrid(cell_m=self.cell_m)
+            grid.insert(vp)
+
+    def insert_trusted(self, vp: ViewProfile) -> None:
+        """Store a VP through the authority path, marking it trusted."""
+        with self._lock:
+            super().insert_trusted(vp)
+
+    def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        """Atomically batch-ingest VPs, skipping duplicates."""
+        with self._lock:
+            return super().insert_many(vps)
 
     # -- point reads -------------------------------------------------------
 
     def get(self, vp_id: bytes) -> ViewProfile | None:
-        return self._by_id.get(vp_id)
+        """Fetch one VP by identifier (the inserted instance itself)."""
+        with self._lock:
+            return self._by_id.get(vp_id)
 
     def __len__(self) -> int:
-        return len(self._by_id)
+        """Total stored VPs."""
+        with self._lock:
+            return len(self._by_id)
 
     def __contains__(self, vp_id: bytes) -> bool:
-        return vp_id in self._by_id
+        """True when a VP with this identifier is stored."""
+        with self._lock:
+            return vp_id in self._by_id
 
     # -- minute/area queries -----------------------------------------------
 
     def minutes(self) -> list[int]:
-        return sorted(self._by_minute)
+        """Sorted minute indices with at least one stored VP."""
+        with self._lock:
+            return sorted(self._by_minute)
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
-        return list(self._by_minute.get(minute, []))
+        """All VPs covering one minute, in insertion order."""
+        with self._lock:
+            return list(self._by_minute.get(minute, []))
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
-        grid = self._grids.get(minute)
-        if grid is None:
-            return []
-        return grid.query(area)
+        """VPs of a minute claiming any location inside ``area``."""
+        with self._lock:
+            grid = self._grids.get(minute)
+            if grid is None:
+                return []
+            return grid.query(area)
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        return [vp for vp in self._by_minute.get(minute, []) if vp.trusted]
+        """Trusted VPs of one minute, in insertion order."""
+        with self._lock:
+            return [vp for vp in self._by_minute.get(minute, []) if vp.trusted]
+
+    def nearest_trusted(self, minute: int, site: Point, k: int = 1) -> list[ViewProfile]:
+        """The k trusted VPs of a minute closest to the investigation site."""
+        with self._lock:
+            return super().nearest_trusted(minute, site, k=k)
 
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> StoreStats:
-        return StoreStats(
-            backend=self.kind,
-            vps=len(self._by_id),
-            trusted=sum(1 for vp in self._by_id.values() if vp.trusted),
-            minutes=len(self._by_minute),
-            detail={
-                "cell_m": self.cell_m,
-                "grid_cells": sum(g.n_cells for g in self._grids.values()),
-            },
-        )
+        """Occupancy snapshot (detail: ``cell_m``, ``grid_cells``)."""
+        with self._lock:
+            return StoreStats(
+                backend=self.kind,
+                vps=len(self._by_id),
+                trusted=sum(1 for vp in self._by_id.values() if vp.trusted),
+                minutes=len(self._by_minute),
+                detail={
+                    "cell_m": self.cell_m,
+                    "grid_cells": sum(g.n_cells for g in self._grids.values()),
+                },
+            )

@@ -8,10 +8,22 @@ an anonymous identifier carries no minute information.
 
 Shards can be any mix of backends (memory for hot minutes, SQLite for
 durable ones); the convenience constructors build homogeneous fleets.
+
+Thread safety: routing is stateless, but the fleet-wide duplicate-id
+check must not race — the same id arriving at two *different* minutes
+would pass two independent probes and land on two shards.  Writers
+therefore pass a short **reservation phase** under one lock (probe the
+fleet, claim the fresh ids in an in-flight set), and only the actual
+inserts fan out to the shards **concurrently** on a small private pool —
+with SQLite shards the per-shard commit I/O overlaps, which is where the
+scale-out throughput win comes from.  Reservations are dropped once the
+rows are visible in the shards, so the set stays small.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Sequence
 
 from repro.core.viewprofile import ViewProfile
@@ -22,16 +34,34 @@ from repro.store.grid import DEFAULT_CELL_M
 from repro.store.memory import MemoryStore
 from repro.store.sqlite import SQLiteStore
 
+#: upper bound on the batch fan-out pool, whatever the shard count
+MAX_FANOUT_WORKERS = 8
+
 
 class ShardedStore(VPStore):
     """Minute-partitioned wrapper over a fleet of VP store backends."""
 
     kind = "sharded"
 
-    def __init__(self, shards: Sequence[VPStore]) -> None:
+    def __init__(self, shards: Sequence[VPStore], fanout_workers: int | None = None) -> None:
+        """Wrap an ordered shard fleet.
+
+        ``fanout_workers`` caps the pool used to parallelize batch
+        inserts across shards (``None`` sizes it to the fleet, ``0``
+        forces serial fan-out).
+        """
         if not shards:
             raise ValidationError("a sharded store needs at least one shard")
         self.shards = list(shards)
+        if fanout_workers is None:
+            fanout_workers = min(len(self.shards), MAX_FANOUT_WORKERS)
+        self.fanout_workers = fanout_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # ids claimed by an in-flight write but possibly not yet visible
+        # in any shard; guarded by the routing lock (see module docstring)
+        self._route_lock = threading.Lock()
+        self._in_flight: set[bytes] = set()
 
     @classmethod
     def memory(cls, n_shards: int = 4, cell_m: float = DEFAULT_CELL_M) -> "ShardedStore":
@@ -47,29 +77,108 @@ class ShardedStore(VPStore):
         """The backend owning one minute's VPs."""
         return self.shards[minute % len(self.shards)]
 
+    def _fanout_pool(self) -> ThreadPoolExecutor | None:
+        """The lazily created cross-shard insert pool (None = serial)."""
+        if self.fanout_workers < 1 or len(self.shards) < 2:
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.fanout_workers,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._pool
+
     # -- writes ------------------------------------------------------------
 
+    def _reserve(self, vps: list[ViewProfile]) -> list[ViewProfile]:
+        """Claim the batch's fresh ids against the fleet and in-flight set.
+
+        Runs the fleet-wide duplicate probe and the claim as one atomic
+        step, closing the window where the same id at two different
+        minutes would pass two independent probes and land on two
+        shards.  Returns the VPs this caller now owns the right to
+        insert (first claim per id wins); release with ``_release``.
+        """
+        with self._route_lock:
+            existing = self.existing_ids([vp.vp_id for vp in vps])
+            existing |= self._in_flight
+            fresh: list[ViewProfile] = []
+            for vp in vps:
+                if vp.vp_id in existing:
+                    continue
+                existing.add(vp.vp_id)
+                fresh.append(vp)
+            self._in_flight.update(vp.vp_id for vp in fresh)
+            return fresh
+
+    def _release(self, vps: list[ViewProfile]) -> None:
+        """Drop reservations once the rows are visible in the shards."""
+        with self._route_lock:
+            self._in_flight.difference_update(vp.vp_id for vp in vps)
+
     def insert(self, vp: ViewProfile) -> None:
-        # the duplicate-id check must span ALL shards: the same R value
-        # at a different minute would otherwise land on a second shard
-        if vp.vp_id in self:
+        """Store one VP; raises ``ValidationError`` on a duplicate id.
+
+        The duplicate-id check spans ALL shards (and in-flight writes):
+        the same R value at a different minute would otherwise land on a
+        second shard.
+        """
+        claimed = self._reserve([vp])
+        if not claimed:
             raise ValidationError(DUPLICATE_ID_MESSAGE)
-        self.shard_for(vp.minute).insert(vp)
+        try:
+            self.shard_for(vp.minute).insert(vp)
+        finally:
+            self._release(claimed)
+
+    def insert_trusted(self, vp: ViewProfile) -> None:
+        """Store a VP through the authority path, marking it trusted.
+
+        The trusted flag is set only after the fleet-wide reservation
+        succeeds, so a rejected insert — including one racing an
+        in-flight batch that holds the same id — never mutates the
+        caller's object.
+        """
+        claimed = self._reserve([vp])
+        if not claimed:
+            raise ValidationError(DUPLICATE_ID_MESSAGE)
+        try:
+            vp.trusted = True
+            self.shard_for(vp.minute).insert(vp)
+        finally:
+            self._release(claimed)
 
     def insert_many(self, vps: Iterable[ViewProfile]) -> int:
-        vps = list(vps)
-        existing = self.existing_ids([vp.vp_id for vp in vps])
-        by_shard: dict[int, list[ViewProfile]] = {}
-        for vp in vps:
-            if vp.vp_id in existing:
-                continue
-            existing.add(vp.vp_id)
-            by_shard.setdefault(vp.minute % len(self.shards), []).append(vp)
-        return sum(
-            self.shards[idx].insert_many(batch) for idx, batch in by_shard.items()
-        )
+        """Batch-ingest VPs, skipping duplicates; returns how many landed.
+
+        The batch is deduplicated (against the fleet, in-flight writes,
+        and within itself) under the routing lock, partitioned by owning
+        shard, and the per-shard sub-batches are inserted concurrently.
+        Racing batches that contain the same VP agree on a single winner
+        and the summed counts stay exact.
+        """
+        fresh = self._reserve(list(vps))
+        try:
+            by_shard: dict[int, list[ViewProfile]] = {}
+            for vp in fresh:
+                by_shard.setdefault(vp.minute % len(self.shards), []).append(vp)
+            pool = self._fanout_pool() if len(by_shard) > 1 else None
+            if pool is None:
+                return sum(
+                    self.shards[idx].insert_many(batch)
+                    for idx, batch in by_shard.items()
+                )
+            futures = [
+                pool.submit(self.shards[idx].insert_many, batch)
+                for idx, batch in by_shard.items()
+            ]
+            return sum(f.result() for f in futures)
+        finally:
+            self._release(fresh)
 
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        """Which of these identifiers are stored on any shard."""
         ids = list(vp_ids)
         found: set[bytes] = set()
         for shard in self.shards:
@@ -79,6 +188,7 @@ class ShardedStore(VPStore):
     # -- point reads -------------------------------------------------------
 
     def get(self, vp_id: bytes) -> ViewProfile | None:
+        """Fetch one VP by identifier, probing shards in order."""
         for shard in self.shards:
             vp = shard.get(vp_id)
             if vp is not None:
@@ -86,31 +196,38 @@ class ShardedStore(VPStore):
         return None
 
     def __len__(self) -> int:
+        """Total stored VPs across the fleet."""
         return sum(len(shard) for shard in self.shards)
 
     def __contains__(self, vp_id: bytes) -> bool:
+        """True when any shard stores a VP with this identifier."""
         return any(vp_id in shard for shard in self.shards)
 
     # -- minute/area queries -----------------------------------------------
 
     def minutes(self) -> list[int]:
+        """Sorted minute indices with at least one stored VP, fleet-wide."""
         out: set[int] = set()
         for shard in self.shards:
             out.update(shard.minutes())
         return sorted(out)
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
+        """All VPs covering one minute (single-shard query)."""
         return self.shard_for(minute).by_minute(minute)
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
+        """VPs of a minute claiming any location inside ``area``."""
         return self.shard_for(minute).by_minute_in_area(minute, area)
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
+        """Trusted VPs of one minute (single-shard query)."""
         return self.shard_for(minute).trusted_by_minute(minute)
 
     # -- lifecycle / introspection -----------------------------------------
 
     def stats(self) -> StoreStats:
+        """Fleet-wide occupancy with per-shard detail."""
         per_shard = [shard.stats() for shard in self.shards]
         return StoreStats(
             backend=self.kind,
@@ -119,11 +236,17 @@ class ShardedStore(VPStore):
             minutes=len(self.minutes()),
             detail={
                 "n_shards": len(self.shards),
+                "fanout_workers": self.fanout_workers,
                 "shard_backends": [s.backend for s in per_shard],
                 "shard_vps": [s.vps for s in per_shard],
             },
         )
 
     def close(self) -> None:
+        """Shut the fan-out pool down and close every shard."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         for shard in self.shards:
             shard.close()

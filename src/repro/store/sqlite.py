@@ -9,11 +9,42 @@ interchangeable with :class:`~repro.store.memory.MemoryStore`.
 
 ``path=":memory:"`` gives a private throwaway database (useful in tests
 and benchmarks); any filesystem path gives durability.
+
+Thread safety and performance (the concurrency-control contract of
+``docs/stores.md``):
+
+* **per-thread connections** — sqlite3 connections are not safely
+  shareable across threads mid-statement, so each thread lazily opens
+  its own connection to the same database (a named shared-cache database
+  when ``path=":memory:"``, so all threads still see one dataset).
+  File databases use WAL, so readers run concurrently with the writer
+  on snapshot isolation; shared-cache ``:memory:`` databases have no
+  WAL, so their reads additionally serialize behind the writer lock —
+  a reader never observes a half-applied batch on either flavor.
+* **single-writer lock** — all mutations serialize behind one re-entrant
+  lock, making ``insert_many`` atomic (duplicate-skipping counts never
+  double-count under concurrent batches).
+* **prepared-statement reuse** — every SQL string is a module constant
+  and connections are opened with a generous ``cached_statements`` pool,
+  so the C layer reuses compiled statements across calls; the batched
+  id probe pads its ``IN (...)`` list to fixed bucket sizes for the same
+  reason.
+* **LRU decode cache** — decoding a 4.5 kB blob back into a
+  :class:`ViewProfile` dominates read cost; a bounded, lock-guarded
+  id → VP cache (``decode_cache`` entries, 0 disables) makes repeated
+  investigation queries over hot minutes near-memory-speed.  Entries are
+  safe to share because stored VPs are immutable after ingest (the
+  trusted flag is fixed at insert time).
 """
 
 from __future__ import annotations
 
+import contextlib
+import itertools
+import os
 import sqlite3
+import threading
+from collections import OrderedDict
 from typing import Iterable
 
 from repro.core.viewprofile import ViewProfile
@@ -45,25 +76,130 @@ CREATE INDEX IF NOT EXISTS idx_vps_minute_bbox
 CREATE INDEX IF NOT EXISTS idx_vps_minute_trusted ON vps (minute, trusted);
 """
 
+# every statement is a module constant so each connection's compiled-
+# statement cache is hit on reuse instead of re-parsing SQL text
+_INSERT = "INSERT INTO vps VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+_INSERT_OR_IGNORE = "INSERT OR IGNORE INTO vps VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+_GET = "SELECT vp_id, body, trusted FROM vps WHERE vp_id = ?"
+_EXISTS = "SELECT 1 FROM vps WHERE vp_id = ?"
+_COUNT = "SELECT COUNT(*) FROM vps"
+_COUNT_TRUSTED = "SELECT COUNT(*) FROM vps WHERE trusted = 1"
+_COUNT_MINUTES = "SELECT COUNT(DISTINCT minute) FROM vps"
+_MINUTES = "SELECT DISTINCT minute FROM vps ORDER BY minute"
+_BY_MINUTE = (
+    "SELECT vp_id, body, trusted FROM vps WHERE minute = ? ORDER BY rowid"
+)
+_BY_MINUTE_IN_AREA = (
+    "SELECT vp_id, body, trusted FROM vps"
+    " WHERE minute = ? AND x_max >= ? AND x_min <= ?"
+    " AND y_max >= ? AND y_min <= ? ORDER BY rowid"
+)
+_TRUSTED_BY_MINUTE = (
+    "SELECT vp_id, body, trusted FROM vps WHERE minute = ? AND trusted = 1"
+    " ORDER BY rowid"
+)
+
+#: ``IN (...)`` lists are padded up to the nearest bucket so the id probe
+#: compiles a handful of statement shapes instead of one per batch size
+_IN_BUCKETS = (1, 8, 64, 500)
+
+#: distinct shared-cache database names for concurrent ``:memory:`` stores
+_MEMDB_SEQ = itertools.count()
+
+DEFAULT_DECODE_CACHE = 1024
+
 
 class SQLiteStore(VPStore):
     """Durable minute- and bbox-indexed backend on the stdlib sqlite3."""
 
     kind = "sqlite"
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        decode_cache: int = DEFAULT_DECODE_CACHE,
+        cached_statements: int = 256,
+    ) -> None:
         self.path = path
+        self.decode_cache = decode_cache
+        self.cached_statements = cached_statements
+        if path == ":memory:":
+            # a *named* shared-cache database: per-thread connections all
+            # attach to the same in-memory dataset; the keepalive
+            # connection below pins it alive for the store's lifetime
+            name = f"repro-vpstore-{os.getpid()}-{next(_MEMDB_SEQ)}"
+            self._target = f"file:{name}?mode=memory&cache=shared"
+            self._uri = True
+        else:
+            self._target = path
+            self._uri = False
+        self._local = threading.local()
+        self._write_lock = threading.RLock()
+        # WAL gives file databases snapshot reads under a live writer;
+        # shared-cache memory databases have no WAL, so reads take the
+        # writer lock instead of ever seeing a half-applied transaction
+        self._read_guard = self._write_lock if self._uri else contextlib.nullcontext()
+        self._registry: list[sqlite3.Connection] = []
+        self._registry_lock = threading.Lock()
+        self._cache: OrderedDict[bytes, ViewProfile] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._closed = False
         try:
-            self._conn = sqlite3.connect(path)
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+            self._keepalive = self._connect()
+            self._keepalive.executescript(_SCHEMA)
+            self._keepalive.commit()
+            # the opener thread reuses the keepalive as its connection
+            self._local.conn = self._keepalive
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open VP store at {path!r}: {exc}") from exc
+
+    # -- connections -------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open one connection with the store's pragmas applied.
+
+        ``check_same_thread=False`` is safe here: each connection is used
+        by exactly one thread (its opener), except for ``close`` which
+        runs once traffic has drained.
+        """
+        conn = sqlite3.connect(
+            self._target,
+            uri=self._uri,
+            check_same_thread=False,
+            cached_statements=self.cached_statements,
+        )
+        if not self._uri:
+            # WAL lets per-thread readers proceed while the writer commits
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=5000")
+        with self._registry_lock:
+            self._registry.append(conn)
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection, opened lazily on first use."""
+        if self._closed:
+            raise StorageError(f"VP store at {self.path!r} is closed")
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            try:
+                conn = self._connect()
+            except sqlite3.Error as exc:
+                raise StorageError(
+                    f"cannot open VP store at {self.path!r}: {exc}"
+                ) from exc
+            self._local.conn = conn
+        return conn
 
     # -- row mapping -------------------------------------------------------
 
     @staticmethod
     def _row_of(vp: ViewProfile) -> tuple:
+        """Map one VP to its table row (bbox columns + storage blob)."""
         x_min, y_min, x_max, y_max = vp_bounding_box(vp)
         return (
             vp.vp_id,
@@ -76,111 +212,180 @@ class SQLiteStore(VPStore):
             encode_vp(vp),
         )
 
-    @staticmethod
-    def _vp_of(body: bytes, trusted: int) -> ViewProfile:
-        return decode_vp(bytes(body), trusted=bool(trusted))
+    def _vp_of(self, vp_id: bytes, body: bytes, trusted: int) -> ViewProfile:
+        """Decode one row, going through the LRU decode cache."""
+        if self.decode_cache <= 0:
+            return decode_vp(bytes(body), trusted=bool(trusted))
+        key = bytes(vp_id)
+        with self._cache_lock:
+            vp = self._cache.get(key)
+            if vp is not None:
+                self._cache.move_to_end(key)
+                self._cache_hits += 1
+                return vp
+            self._cache_misses += 1
+        vp = decode_vp(bytes(body), trusted=bool(trusted))  # decode unlocked
+        with self._cache_lock:
+            self._cache[key] = vp
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.decode_cache:
+                self._cache.popitem(last=False)
+        return vp
 
     # -- writes ------------------------------------------------------------
 
     def insert(self, vp: ViewProfile) -> None:
-        try:
-            with self._conn:
-                self._conn.execute(
-                    "INSERT INTO vps VALUES (?, ?, ?, ?, ?, ?, ?, ?)", self._row_of(vp)
-                )
-        except sqlite3.IntegrityError as exc:
-            raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+        """Store one VP; raises ``ValidationError`` on a duplicate id."""
+        with self._write_lock:
+            try:
+                with self._conn:
+                    self._conn.execute(_INSERT, self._row_of(vp))
+            except sqlite3.IntegrityError as exc:
+                raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+
+    def insert_trusted(self, vp: ViewProfile) -> None:
+        """Store a VP through the authority path, marking it trusted."""
+        with self._write_lock:
+            super().insert_trusted(vp)
 
     def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        """Atomically batch-ingest VPs, skipping duplicates.
+
+        Rows are encoded outside the writer lock (the CPU-heavy part),
+        then applied in one ``INSERT OR IGNORE`` transaction.
+        """
         rows = [self._row_of(vp) for vp in vps]
-        before = self._conn.total_changes
-        with self._conn:
-            self._conn.executemany(
-                "INSERT OR IGNORE INTO vps VALUES (?, ?, ?, ?, ?, ?, ?, ?)", rows
-            )
-        return self._conn.total_changes - before
+        with self._write_lock:
+            conn = self._conn
+            before = conn.total_changes
+            with conn:
+                conn.executemany(_INSERT_OR_IGNORE, rows)
+            return conn.total_changes - before
 
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        """Which of these identifiers are already stored (batched probes)."""
         found: set[bytes] = set()
         ids = list(vp_ids)
-        chunk = 500  # stay under SQLite's bound-parameter limit
+        chunk = _IN_BUCKETS[-1]  # stay under SQLite's bound-parameter limit
         for start in range(0, len(ids), chunk):
             part = ids[start : start + chunk]
-            marks = ",".join("?" * len(part))
-            rows = self._conn.execute(
-                f"SELECT vp_id FROM vps WHERE vp_id IN ({marks})", part
-            ).fetchall()
-            found.update(vp_id for (vp_id,) in rows)
+            size = next(b for b in _IN_BUCKETS if b >= len(part))
+            part = part + part[:1] * (size - len(part))  # pad: reuse statement
+            marks = ",".join("?" * size)
+            with self._read_guard:
+                rows = self._conn.execute(
+                    f"SELECT vp_id FROM vps WHERE vp_id IN ({marks})", part
+                ).fetchall()
+            found.update(bytes(vp_id) for (vp_id,) in rows)
         return found
 
     # -- point reads -------------------------------------------------------
 
     def get(self, vp_id: bytes) -> ViewProfile | None:
-        row = self._conn.execute(
-            "SELECT body, trusted FROM vps WHERE vp_id = ?", (vp_id,)
-        ).fetchone()
+        """Fetch one VP by identifier.
+
+        A decode-cache hit answers without touching SQLite at all —
+        rows are never updated or deleted, so a cached id is proof of
+        existence and content.
+        """
+        if self.decode_cache > 0:
+            key = bytes(vp_id)
+            with self._cache_lock:
+                vp = self._cache.get(key)
+                if vp is not None:
+                    self._cache.move_to_end(key)
+                    self._cache_hits += 1
+                    return vp
+        with self._read_guard:
+            row = self._conn.execute(_GET, (vp_id,)).fetchone()
         if row is None:
             return None
         return self._vp_of(*row)
 
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM vps").fetchone()[0]
+        """Total stored VPs."""
+        with self._read_guard:
+            return self._conn.execute(_COUNT).fetchone()[0]
 
     def __contains__(self, vp_id: bytes) -> bool:
-        row = self._conn.execute(
-            "SELECT 1 FROM vps WHERE vp_id = ?", (vp_id,)
-        ).fetchone()
-        return row is not None
+        """True when a VP with this identifier is stored."""
+        with self._read_guard:
+            return self._conn.execute(_EXISTS, (vp_id,)).fetchone() is not None
 
     # -- minute/area queries -----------------------------------------------
 
     def minutes(self) -> list[int]:
-        rows = self._conn.execute(
-            "SELECT DISTINCT minute FROM vps ORDER BY minute"
-        ).fetchall()
-        return [m for (m,) in rows]
+        """Sorted minute indices with at least one stored VP."""
+        with self._read_guard:
+            return [m for (m,) in self._conn.execute(_MINUTES).fetchall()]
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
-        rows = self._conn.execute(
-            "SELECT body, trusted FROM vps WHERE minute = ? ORDER BY rowid", (minute,)
-        ).fetchall()
+        """All VPs covering one minute, in insertion order."""
+        with self._read_guard:
+            rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
         return [self._vp_of(*row) for row in rows]
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
-        rows = self._conn.execute(
-            "SELECT body, trusted FROM vps"
-            " WHERE minute = ? AND x_max >= ? AND x_min <= ?"
-            " AND y_max >= ? AND y_min <= ? ORDER BY rowid",
-            (minute, area.x_min, area.x_max, area.y_min, area.y_max),
-        ).fetchall()
+        """VPs of a minute claiming any location inside ``area``.
+
+        The bbox index prunes candidates; each surviving row is decoded
+        (cache-assisted) and exact-checked per claimed position.
+        """
+        with self._read_guard:
+            rows = self._conn.execute(
+                _BY_MINUTE_IN_AREA,
+                (minute, area.x_min, area.x_max, area.y_min, area.y_max),
+            ).fetchall()
         candidates = (self._vp_of(*row) for row in rows)
         return [vp for vp in candidates if vp_claims_in_area(vp, area)]
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        rows = self._conn.execute(
-            "SELECT body, trusted FROM vps WHERE minute = ? AND trusted = 1"
-            " ORDER BY rowid",
-            (minute,),
-        ).fetchall()
+        """Trusted VPs of one minute, in insertion order."""
+        with self._read_guard:
+            rows = self._conn.execute(_TRUSTED_BY_MINUTE, (minute,)).fetchall()
         return [self._vp_of(*row) for row in rows]
 
     # -- lifecycle / introspection -----------------------------------------
 
     def stats(self) -> StoreStats:
-        total = len(self)
-        trusted = self._conn.execute(
-            "SELECT COUNT(*) FROM vps WHERE trusted = 1"
-        ).fetchone()[0]
-        n_minutes = self._conn.execute(
-            "SELECT COUNT(DISTINCT minute) FROM vps"
-        ).fetchone()[0]
+        """Occupancy snapshot (detail: path, connections, decode cache)."""
+        with self._read_guard:
+            total = self._conn.execute(_COUNT).fetchone()[0]
+            trusted = self._conn.execute(_COUNT_TRUSTED).fetchone()[0]
+            n_minutes = self._conn.execute(_COUNT_MINUTES).fetchone()[0]
+        with self._registry_lock:
+            n_conns = len(self._registry)
+        with self._cache_lock:
+            cache = {
+                "size": len(self._cache),
+                "max": self.decode_cache,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+            }
         return StoreStats(
             backend=self.kind,
             vps=total,
             trusted=trusted,
             minutes=n_minutes,
-            detail={"path": self.path},
+            detail={
+                "path": self.path,
+                "connections": n_conns,
+                "decode_cache": cache,
+            },
         )
 
     def close(self) -> None:
-        self._conn.close()
+        """Close every connection; the store is unusable afterwards.
+
+        Callers must quiesce traffic first (e.g. shut the fronting
+        network down) — close is not safe concurrently with queries.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._registry_lock:
+            conns, self._registry = self._registry, []
+        for conn in conns:
+            conn.close()
+        with self._cache_lock:
+            self._cache.clear()

@@ -75,3 +75,56 @@ class TestLinkageRealism:
         vmap = build_viewmap(result.vps_by_minute[0], minute=0)
         a, b = result.actual_vps(0)
         assert vmap.graph.has_edge(a.vp_id, b.vp_id)
+
+
+class TestConcurrentIngest:
+    def _fabricated_result(self, n_minutes=2, per_minute=6):
+        from repro.sim.runner import SimulationResult
+        from tests.store.conftest import make_vp
+
+        result = SimulationResult()
+        seed = 1
+        for minute in range(n_minutes):
+            for i in range(per_minute):
+                result.vps_by_minute[minute].append(
+                    make_vp(seed=seed, minute=minute, x0=30.0 * i)
+                )
+                seed += 1
+        return result
+
+    def test_concurrent_matches_serial_population(self):
+        from repro.store import MemoryStore
+
+        result = self._fabricated_result()
+        serial, threaded = MemoryStore(), MemoryStore()
+        assert result.ingest_into(serial) == result.ingest_concurrently(
+            threaded, workers=4
+        )
+        assert len(serial) == len(threaded) == 12
+        for minute in serial.minutes():
+            assert {vp.vp_id for vp in serial.by_minute(minute)} == {
+                vp.vp_id for vp in threaded.by_minute(minute)
+            }
+
+    def test_workers_exceeding_minutes_still_ingests_all(self):
+        from repro.store import MemoryStore
+
+        result = self._fabricated_result(n_minutes=1, per_minute=8)
+        store = MemoryStore()
+        assert result.ingest_concurrently(store, workers=8) == 8
+        assert len(store) == 8
+
+    def test_empty_minute_from_defaultdict_read_is_harmless(self):
+        from repro.store import MemoryStore
+
+        result = self._fabricated_result(n_minutes=1, per_minute=3)
+        result.vps_by_minute[7]  # defaultdict read leaves an empty minute
+        store = MemoryStore()
+        assert result.ingest_concurrently(store, workers=4) == 3
+        assert len(store) == 3
+
+    def test_no_vps_at_all(self):
+        from repro.sim.runner import SimulationResult
+        from repro.store import MemoryStore
+
+        assert SimulationResult().ingest_concurrently(MemoryStore(), workers=4) == 0

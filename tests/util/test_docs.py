@@ -1,0 +1,76 @@
+"""The documentation set stays healthy: links resolve, code parses."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402  (path set up above)
+
+
+class TestRepositoryDocs:
+    def test_expected_documents_exist(self):
+        names = {f.relative_to(REPO_ROOT).as_posix() for f in check_docs.doc_files()}
+        assert "README.md" in names
+        assert {
+            "docs/architecture.md",
+            "docs/protocol.md",
+            "docs/stores.md",
+        } <= names
+
+    def test_no_broken_links_or_code_blocks(self):
+        problems = [
+            p for f in check_docs.doc_files() for p in check_docs.check_file(f)
+        ]
+        assert problems == []
+
+
+class TestCheckerCatchesRot:
+    def test_broken_relative_link_reported(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text("see [missing](nowhere/gone.md)\n")
+        problems = check_docs.check_file(doc, root=tmp_path)
+        assert any("broken link" in p for p in problems)
+
+    def test_bad_python_block_reported(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text("```python\ndef broken(:\n```\n")
+        problems = check_docs.check_file(doc, root=tmp_path)
+        assert any("does not parse" in p for p in problems)
+
+    def test_clean_document_passes(self, tmp_path):
+        (tmp_path / "other.md").write_text("# hi\n")
+        doc = tmp_path / "README.md"
+        doc.write_text(
+            "# Title\n\nsee [other](other.md) and [top](#title)\n\n"
+            "```python\nprint('ok')\n```\n"
+        )
+        assert check_docs.check_file(doc, root=tmp_path) == []
+
+    def test_broken_anchor_reported(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text("# Title\n\n[gone](#not-a-heading)\n")
+        problems = check_docs.check_file(doc, root=tmp_path)
+        assert any("broken anchor" in p for p in problems)
+
+    def test_indented_fence_does_not_swallow_rest_of_file(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text(
+            "# Title\n\n"
+            "- a list item with code:\n\n"
+            "  ```python\n"
+            "  print('ok')\n"
+            "  ```\n\n"
+            "[gone](missing.md)\n"
+        )
+        problems = check_docs.check_file(doc, root=tmp_path)
+        assert any("broken link" in p for p in problems)
+
+    def test_indented_python_block_is_syntax_checked(self, tmp_path):
+        doc = tmp_path / "README.md"
+        doc.write_text("- item:\n\n  ```python\n  def broken(:\n  ```\n")
+        problems = check_docs.check_file(doc, root=tmp_path)
+        assert any("does not parse" in p for p in problems)

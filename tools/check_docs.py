@@ -1,0 +1,126 @@
+"""Lightweight documentation checker: links resolve, code blocks parse.
+
+Scans the repo's markdown set (README.md plus everything under docs/)
+and reports:
+
+* relative links or images pointing at files that do not exist;
+* fenced ``python`` code blocks that fail to compile (syntax check
+  only — blocks are never executed);
+* in-page anchors (``[...](#section)``) without a matching heading.
+
+Used by the CI docs job and wrapped by ``tests/util/test_docs.py`` so a
+broken link fails locally too.  Exit code 0 = clean, 1 = problems
+(listed one per line on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown inline links/images: [text](target) — shortest-match target
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: fence opener, possibly indented (e.g. inside a list item)
+_FENCE_RE = re.compile(r"^\s*```(\w*)\s*$")
+_HEADING_RE = re.compile(r"^#+\s+(.*?)\s*$")
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown set the checker covers."""
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    return [f for f in files if f.is_file()]
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _strip_fences(text: str) -> tuple[str, list[tuple[int, str, str]]]:
+    """Split markdown into prose and fenced blocks.
+
+    Returns the prose (fence bodies blanked, line count preserved) and a
+    list of (start line, language, body) per fenced block.
+    """
+    prose_lines: list[str] = []
+    blocks: list[tuple[int, str, str]] = []
+    in_fence = False
+    language = ""
+    body: list[str] = []
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        fence = _FENCE_RE.match(line)
+        if fence and not in_fence:
+            in_fence, language, body, start = True, fence.group(1), [], lineno
+            prose_lines.append("")
+        elif line.strip() == "```" and in_fence:
+            in_fence = False
+            blocks.append((start, language, textwrap.dedent("\n".join(body))))
+            prose_lines.append("")
+        elif in_fence:
+            body.append(line)
+            prose_lines.append("")
+        else:
+            prose_lines.append(line)
+    return "\n".join(prose_lines), blocks
+
+
+def check_file(path: Path, root: Path = REPO_ROOT) -> list[str]:
+    """All problems found in one markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    prose, blocks = _strip_fences(text)
+    anchors = {
+        _anchor_of(m.group(1))
+        for m in (_HEADING_RE.match(line) for line in prose.splitlines())
+        if m
+    }
+
+    for match in _LINK_RE.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external links: not checked offline
+        target, _, anchor = target.partition("#")
+        if not target:
+            if anchor and anchor not in anchors:
+                problems.append(f"{path}: broken anchor '#{anchor}'")
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link '{target}'")
+        elif root not in resolved.parents and resolved != root:
+            problems.append(f"{path}: link escapes the repository: '{target}'")
+
+    for lineno, language, body in blocks:
+        if language.lower() not in ("python", "py"):
+            continue
+        try:
+            compile(body, f"{path}:{lineno}", "exec")
+        except SyntaxError as exc:
+            problems.append(f"{path}:{lineno}: python block does not parse: {exc}")
+    return problems
+
+
+def main() -> int:
+    """Check the whole documentation set; print problems to stderr."""
+    files = doc_files()
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    problems = [p for f in files for p in check_file(f)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
