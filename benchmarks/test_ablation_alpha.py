@@ -5,7 +5,6 @@ volume (Fig. 9).  The paper picks 0.1; this bench shows the trade-off
 curve that justifies it.
 """
 
-from repro.analysis.privacyexp import privacy_experiment
 from repro.analysis.volume import vp_volume_curve
 from repro.geo.obstacles import corridor_los
 from repro.mobility.scenarios import city_scenario
@@ -20,7 +19,8 @@ ALPHAS = [0.05, 0.1, 0.3, 0.6]
 
 def test_ablation_guard_alpha(benchmark, show):
     scn = city_scenario(area_km=3.0, n_vehicles=60, duration_s=10 * 60, seed=17)
-    los = lambda a, b: corridor_los(a, b, scn.block_m)
+    def los(a, b):
+        return corridor_los(a, b, scn.block_m)
 
     def sweep():
         rows = {}

@@ -19,7 +19,8 @@ MARKS = [0, 2, 4, 6, 8]
 
 def test_ablation_stronger_adversary(benchmark, show):
     scn = city_scenario(area_km=3.0, n_vehicles=60, duration_s=10 * 60, seed=19)
-    los = lambda a, b: corridor_los(a, b, scn.block_m)
+    def los(a, b):
+        return corridor_los(a, b, scn.block_m)
     dataset = build_privacy_dataset(scn.traces, los_fn=los, seed=19)
     targets = list(range(0, 60, 10))
 

@@ -20,7 +20,8 @@ MARKS = [0, 2, 4, 6, 8]
 
 def test_baseline_scheme_comparison(benchmark, show):
     scn = city_scenario(area_km=3.0, n_vehicles=60, duration_s=10 * 60, seed=23)
-    los = lambda a, b: corridor_los(a, b, scn.block_m)
+    def los(a, b):
+        return corridor_los(a, b, scn.block_m)
     targets = list(range(0, 60, 10))
 
     def run():

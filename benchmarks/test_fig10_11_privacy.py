@@ -6,7 +6,7 @@ the sparsest density — the small-scale privacy study of Section 6.2.2.
 
 from repro.analysis.privacyexp import privacy_experiment
 
-from benchmarks.conftest import bench_runs, fmt_row
+from benchmarks.conftest import fmt_row
 
 MARK_MINUTES = [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]
 

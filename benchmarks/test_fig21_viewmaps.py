@@ -7,7 +7,6 @@ mesh reflects the road network (high membership, few components).
 
 from repro.analysis.cityexp import city_viewmap_stats
 
-from benchmarks.conftest import fmt_row
 
 
 def test_fig21_traffic_derived_viewmaps(benchmark, show):

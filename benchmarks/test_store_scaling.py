@@ -123,7 +123,10 @@ def test_sqlite_round_trip(show, tmp_path):
     store = SQLiteStore(path)
     t_ins, n = timed(lambda: store.insert_many(corpus))
     assert n == len(corpus)
-    before = [(vp.vp_id, [vd.pack() for vd in vp.digests]) for vp in store.by_minute_in_area(0, area)]
+    before = [
+        (vp.vp_id, [vd.pack() for vd in vp.digests])
+        for vp in store.by_minute_in_area(0, area)
+    ]
     store.close()
 
     reopened = SQLiteStore(path)
@@ -137,3 +140,15 @@ def test_sqlite_round_trip(show, tmp_path):
         f"SQLite round-trip: {len(corpus)} VPs inserted in {1e3 * t_ins:.1f} ms, "
         f"restart query {1e3 * t_q:.2f} ms, {len(after)} hits identical"
     )
+
+
+def test_benchmark_grid_area_queries(benchmark):
+    """Timed (regression-gated in CI): site queries on a 10k-VP minute."""
+    corpus = make_corpus(10_000)
+    for vp in corpus:
+        vp.positions_array  # prime geometry caches outside the timing
+    memory = MemoryStore()
+    memory.insert_many(corpus)
+    areas = query_areas()
+    results = benchmark(lambda: [memory.by_minute_in_area(0, a) for a in areas])
+    assert sum(len(r) for r in results) > 0

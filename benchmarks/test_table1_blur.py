@@ -8,7 +8,6 @@ from repro.analysis.blurexp import table1_rows
 from repro.vision.blur import BlurPipeline
 from repro.vision.frames import FrameSpec, synthesize_frame
 
-from benchmarks.conftest import fmt_row
 
 
 def test_table1_blur_pipeline(benchmark, show):

@@ -17,7 +17,7 @@ from repro.mobility.scenarios import city_scenario
 from repro.radio.channel import DsrcChannel
 from repro.sim.contacts import mean_contact_time
 from repro.sim.runner import run_viewmap_simulation
-from repro.store import VPStore, make_store
+from repro.store import RetentionPolicy, VPStore, make_store
 from repro.util.rng import derive_seed
 
 
@@ -43,6 +43,7 @@ def city_viewmap_stats(
     label: str | None = None,
     store: VPStore | str | None = None,
     workers: int = 1,
+    retention: RetentionPolicy | None = None,
 ) -> tuple[CityViewmapStats, ViewMapGraph]:
     """Simulate one minute of city traffic and build its viewmap.
 
@@ -51,7 +52,13 @@ def city_viewmap_stats(
     query path.  ``store`` selects the storage backend (an instance or a
     :func:`repro.store.make_store` kind name; default in-memory);
     ``workers`` > 1 drives the ingest from that many concurrent uploader
-    threads (the stores are thread-safe).
+    threads (the stores are thread-safe).  ``retention`` replays the
+    ingest in minute order with the retention watermark advancing, so
+    the database ends the run holding only the retained window (a
+    window shorter than the trace evicts the early minutes — including
+    the one the viewmap is built from, which is the point when
+    demonstrating lifecycle behaviour, but keep it >= the trace length
+    for figure-faithful output).
     """
     scn = city_scenario(
         area_km=area_km,
@@ -71,8 +78,8 @@ def city_viewmap_stats(
     if isinstance(store, str):
         store = make_store(store)
     database = VPDatabase(store=store) if store is not None else VPDatabase()
-    if workers > 1:
-        result.ingest_concurrently(database, workers=workers)
+    if workers > 1 or retention is not None:
+        result.ingest_concurrently(database, workers=workers, retention=retention)
     else:
         result.ingest_into(database)
     vmap = build_viewmap(database.by_minute(0), minute=0)

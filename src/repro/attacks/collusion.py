@@ -29,7 +29,6 @@ import networkx as nx
 from repro.constants import TRUSTRANK_DAMPING
 from repro.core.verification import link_distances, verify_site_members
 from repro.errors import SimulationError
-from repro.geo.geometry import Point
 from repro.util.rng import derive_seed, make_rng
 
 

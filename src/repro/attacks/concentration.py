@@ -14,8 +14,6 @@ attackers' control), not by their quantity.
 
 from __future__ import annotations
 
-import random
-
 import numpy as np
 from scipy.spatial import cKDTree
 

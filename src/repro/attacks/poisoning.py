@@ -20,7 +20,6 @@ from repro.constants import BLOOM_BITS, MAX_NEIGHBOR_VPS
 from repro.core.neighbors import NeighborTable
 from repro.core.viewdigest import ViewDigest, make_secret, vp_id_from_secret
 from repro.core.viewprofile import ViewProfile, build_view_profile
-from repro.crypto.bloom import BloomFilter
 from repro.util.encoding import f32round
 from repro.util.rng import make_rng
 

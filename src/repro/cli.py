@@ -78,12 +78,22 @@ def _cmd_fig12(args: argparse.Namespace) -> None:
 def _cmd_fig21(args: argparse.Namespace) -> None:
     from repro.analysis.cityexp import city_viewmap_stats
     from repro.core.export import render_ascii, save_viewmap
-    from repro.store import make_store
+    from repro.store import RetentionPolicy, make_store
 
-    store = make_store(args.store, path=args.store_path, n_shards=args.shards)
+    store = make_store(
+        args.store,
+        path=args.store_path,
+        n_shards=args.shards,
+        shard_cells=args.shard_cells,
+    )
+    retention = (
+        RetentionPolicy(window_minutes=args.retention_minutes)
+        if args.retention_minutes > 0
+        else None
+    )
     stats, vmap = city_viewmap_stats(
         args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed,
-        store=store, workers=args.workers,
+        store=store, workers=args.workers, retention=retention,
     )
     occupancy = store.stats()
     print(f"store: {occupancy.backend} ({occupancy.vps} VPs, "
@@ -137,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--shards", type=int, default=4, help="shard count for --store sharded"
+        )
+        cmd.add_argument(
+            "--shard-cells",
+            type=int,
+            default=1,
+            help="spatial routing cells per minute for --store sharded "
+            "(>1 spreads a hot minute across shards)",
+        )
+        cmd.add_argument(
+            "--retention-minutes",
+            type=int,
+            default=0,
+            help="evict VPs older than this many minutes as ingest "
+            "advances (0 = keep everything)",
         )
         cmd.add_argument(
             "--workers",

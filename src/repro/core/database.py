@@ -77,6 +77,14 @@ class VPDatabase:
         """The k trusted VPs of a minute closest to the investigation site."""
         return self.store.nearest_trusted(minute, site, k=k)
 
+    def evict_before(self, minute: int) -> int:
+        """Retire every VP below the retention cutoff; returns the count."""
+        return self.store.evict_before(minute)
+
+    def compact(self) -> dict:
+        """Reclaim space freed by eviction (backend-specific gauges)."""
+        return self.store.compact()
+
     def stats(self) -> StoreStats:
         """Backend occupancy snapshot (see :class:`StoreStats`)."""
         return self.store.stats()

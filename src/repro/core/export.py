@@ -74,6 +74,9 @@ def render_ascii(vmap: ViewMapGraph, width: int = 72, height: int = 24) -> str:
     lines = []
     for row in grid:
         lines.append(
-            "".join(glyphs[min(int(v / top * (len(glyphs) - 1) + (v > 0)), len(glyphs) - 1)] for v in row)
+            "".join(
+                glyphs[min(int(v / top * (len(glyphs) - 1) + (v > 0)), len(glyphs) - 1)]
+                for v in row
+            )
         )
     return "\n".join(lines)

@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.constants import GUARD_ALPHA, HASH_BYTES, VIDEO_UNIT_SECONDS
+from repro.constants import GUARD_ALPHA, HASH_BYTES
 from repro.core.neighbors import NeighborRecord
 from repro.core.viewdigest import ViewDigest, make_secret, vp_id_from_secret
 from repro.core.viewprofile import ViewProfile

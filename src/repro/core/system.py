@@ -43,6 +43,7 @@ from repro.crypto.rsa import RSAKeyPair
 from repro.errors import ValidationError
 from repro.geo.geometry import Point
 from repro.store.base import VPStore
+from repro.store.lifecycle import LifecycleReport, RetentionPolicy, apply_retention
 
 
 @dataclass
@@ -69,10 +70,17 @@ class ViewMapSystem:
     #: when not supplied.  Passing both is a configuration error.
     database: VPDatabase | None = None
     solicitations: SolicitationBoard = field(default_factory=SolicitationBoard)
+    #: optional storage retention policy; ``advance_retention`` applies
+    #: it as the observed minute watermark moves (None = keep forever)
+    retention: RetentionPolicy | None = None
     rewards: RewardService = field(init=False)
     registry: CashRegistry = field(init=False)
     pending_review: dict[bytes, list[bytes]] = field(default_factory=dict)
     reviewed: set[bytes] = field(default_factory=set)
+    #: newest minute a retention pass has run at (-1 = never)
+    retention_watermark: int = field(default=-1, init=False)
+    #: watermark of the last compaction (paced by ``retention.compact_every``)
+    _last_compact_minute: int = field(default=-1, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.store is not None and self.database is not None:
@@ -87,6 +95,17 @@ class ViewMapSystem:
         keypair = RSAKeyPair.generate(self.key_bits, rng=random.Random(self.seed))
         self.rewards = RewardService(signer=BlindSigner(keypair=keypair))
         self.registry = CashRegistry(public=keypair.public)
+        if self.retention is not None:
+            # anchor the watermark so upload-driven advancement is ALWAYS
+            # clamped relative to something: a restart over a persistent
+            # store anchors at the newest stored minute, a fresh system
+            # at minute 0 (every timeline in this reproduction starts
+            # there; a production deployment would anchor on a trusted
+            # clock).  Without an anchor, the first packet a fresh
+            # server accepts could claim a far-future minute and poison
+            # the monotonic watermark, permanently disabling retention.
+            minutes = self.database.minutes()
+            self.retention_watermark = minutes[-1] if minutes else 0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -111,6 +130,46 @@ class ViewMapSystem:
     def ingest_trusted_vp(self, vp: ViewProfile) -> None:
         """Accept a VP through the authenticated authority path."""
         self.database.insert_trusted(vp)
+
+    # -- retention ---------------------------------------------------------
+
+    def advance_retention(self, newest_minute: int) -> LifecycleReport | None:
+        """Move the retention watermark and evict minutes that fell out.
+
+        Called by whoever observes time advancing — the upload front-end
+        as batches for newer minutes arrive, a simulation replay at each
+        minute boundary, or operator cron.  The watermark is monotonic
+        (a stale observation never un-evicts) and the pass is idempotent.
+        Returns the :class:`~repro.store.lifecycle.LifecycleReport` of
+        the pass, or None when no policy is configured or the watermark
+        did not move.
+
+        NOT internally synchronized: like the investigation methods,
+        concurrent callers must serialize externally — the concurrent
+        front-end runs this under its ``control_lock``.  (Eviction
+        itself is safe against racing ingest; the lock only keeps the
+        watermark monotonic and the passes ordered.)
+        """
+        if self.retention is None or newest_minute <= self.retention_watermark:
+            return None
+        # eviction runs every pass; compaction (vacuum/ANALYZE) is real
+        # maintenance work and is paced by the policy so it never lands
+        # on every minute rollover of a live upload stream
+        compact = (
+            self.retention.compact_every > 0
+            and newest_minute - self._last_compact_minute
+            >= self.retention.compact_every
+        )
+        report = apply_retention(
+            self.database.store, self.retention, newest_minute, compact=compact
+        )
+        # the watermark moves only after the pass succeeded: a transient
+        # storage error leaves it behind, so the next observation of the
+        # same (or a newer) minute retries the eviction
+        self.retention_watermark = newest_minute
+        if compact:
+            self._last_compact_minute = newest_minute
+        return report
 
     # -- investigation -----------------------------------------------------
 

@@ -15,8 +15,7 @@ The agent never embeds its vehicle identity in anything it emits —
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.constants import DSRC_RANGE_M, VIDEO_UNIT_SECONDS

@@ -69,21 +69,30 @@ class ViewDigest:
         return Point(*self.location)
 
     def pack(self) -> bytes:
-        """Serialize to the 72-byte wire format."""
-        payload = (
-            pack_float(self.t)
-            + pack_pair_f32(*self.location)
-            + pack_uint(self.file_size, 8)
-            + pack_pair_f32(*self.initial_location)
-            + pack_uint(self.second_index, 8)
-            + self.vp_id
-            + self.chain_hash
-        )
-        if len(payload) != VD_MESSAGE_BYTES:
-            raise WireFormatError(
-                f"packed VD is {len(payload)} bytes, expected {VD_MESSAGE_BYTES}"
+        """Serialize to the 72-byte wire format.
+
+        The digest is immutable, so the packed form is computed once and
+        cached — ``pack`` sits on several hot paths at once (Bloom
+        membership keys, wire framing, the storage codec), and a city's
+        ingest stream re-packs every digest of every VP without this.
+        """
+        packed = self.__dict__.get("_packed")
+        if packed is None:
+            packed = (
+                pack_float(self.t)
+                + pack_pair_f32(*self.location)
+                + pack_uint(self.file_size, 8)
+                + pack_pair_f32(*self.initial_location)
+                + pack_uint(self.second_index, 8)
+                + self.vp_id
+                + self.chain_hash
             )
-        return payload
+            if len(packed) != VD_MESSAGE_BYTES:
+                raise WireFormatError(
+                    f"packed VD is {len(packed)} bytes, expected {VD_MESSAGE_BYTES}"
+                )
+            object.__setattr__(self, "_packed", packed)
+        return packed
 
     @classmethod
     def unpack(cls, data: bytes) -> "ViewDigest":
@@ -99,7 +108,7 @@ class ViewDigest:
         second_index = unpack_uint(data[32:40])
         vp_id = data[40:56]
         chain_hash = data[56:72]
-        return cls(
+        vd = cls(
             second_index=second_index,
             t=t,
             location=location,
@@ -108,6 +117,12 @@ class ViewDigest:
             vp_id=vp_id,
             chain_hash=chain_hash,
         )
+        # seed the pack cache with the wire bytes: a digest that arrived
+        # over the network (or from a storage blob) re-serializes for
+        # free, which is what keeps batch ingest store-bound, not codec-
+        # bound
+        object.__setattr__(vd, "_packed", bytes(data))
+        return vd
 
     def bloom_key(self) -> bytes:
         """The byte string inserted into / queried from neighbour Blooms."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.geo.geometry import Point
-from repro.geo.roadnet import NodeId, RoadNetwork
+from repro.geo.roadnet import RoadNetwork
 from repro.geo.routing import Router
 from repro.geo.trajectory import Trajectory
 from repro.mobility.traces import Trace, TraceSet

@@ -31,12 +31,12 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, ReproError
+from repro.net.server import MAX_WATERMARK_STEP, ViewMapServer
 from repro.net.server import Handler as MessageHandler
-from repro.net.server import ViewMapServer
 from repro.net.transport import Endpoint, Handler
 
 #: default worker-pool width — sized for overlapping I/O-bound requests,
@@ -178,6 +178,11 @@ class ConcurrentViewMapServer(ViewMapServer):
     * ``upload_vp`` / ``upload_vp_batch`` run without server-level locks
       — duplicate suppression and insert atomicity are the storage
       backend's job, and every ``repro.store`` backend provides them;
+    * the retention watermark (``system.retention``) advances under
+      ``control_lock``: the upload handler that first observes a newer
+      minute takes the lock, runs the eviction pass, and every other
+      upload stays lock-free (a cheap unlocked check rejects stale
+      minutes first);
     * the remaining control-plane handlers (solicitations, video upload,
       rewards, signing) share one re-entrant state lock because the
       system objects they touch are plain dict/set state.  The lock is
@@ -222,3 +227,32 @@ class ConcurrentViewMapServer(ViewMapServer):
         """Record one (kind, session id) observation, thread-safely."""
         with self._log_lock:
             self.session_log.append((kind, session))
+
+    def _observe_minute(self, minute: int) -> None:
+        """Advance the retention watermark under the control-plane lock.
+
+        The unlocked first check keeps the upload fast path lock-free
+        for the overwhelmingly common case (another upload of the same
+        minute); only the request that first sees a newer minute pays
+        for the lock and the eviction pass.  The watermark is re-read
+        under the lock, so racing observers of the same new minute run
+        the pass once, and ``advance_retention`` itself keeps it
+        monotonic.  The advance is clamped to ``MAX_WATERMARK_STEP``
+        past the established watermark (see the serial server's
+        docstring — a bogus far-future minute must not evict the whole
+        window).
+        """
+        if self.system.retention is None or minute <= self.system.retention_watermark:
+            return
+        with self._state_lock:
+            watermark = self.system.retention_watermark
+            if minute <= watermark:
+                return
+            if watermark >= 0:
+                minute = min(minute, watermark + MAX_WATERMARK_STEP)
+            try:
+                self.system.advance_retention(minute)
+            except ReproError:
+                # housekeeping must not fail the upload that triggered
+                # it; the unchanged watermark retries on the next upload
+                return

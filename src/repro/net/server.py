@@ -8,6 +8,18 @@ to users.  Sessions are logged so privacy tests can verify unlinkability.
 Dispatch goes through an explicit handler registry built at startup:
 the request ``kind`` is looked up in a closed table, so crafted kind
 strings can never resolve to arbitrary attributes of the server object.
+
+When the system carries a retention policy, the upload stream doubles
+as the server's clock — but a *clamped* one: a client-claimed minute
+may advance the retention watermark by at most
+``MAX_WATERMARK_STEP`` per accepted upload.  Without the clamp a
+single upload claiming a far-future minute would evict the entire
+retained window (and poison the monotonic watermark forever); with it,
+honest clock skew is absorbed and a flood attack must sustain many
+accepted uploads to move the window at all, each step costing at most
+``MAX_WATERMARK_STEP`` minutes of the oldest data.  Deployments with a
+trustworthy clock should drive ``system.advance_retention`` from the
+investigation/solicitation side instead.
 """
 
 from __future__ import annotations
@@ -26,6 +38,11 @@ from repro.net.messages import (
 from repro.net.transport import InMemoryNetwork
 
 Handler = Callable[[dict[str, Any]], bytes]
+
+#: max minutes the upload-driven retention watermark may advance per
+#: accepted upload (see module docstring) — bounds the eviction blast
+#: radius of a bogus far-future minute claim to this many minutes
+MAX_WATERMARK_STEP = 2
 
 
 @dataclass
@@ -82,6 +99,41 @@ class ViewMapServer:
         """
         self.session_log.append((kind, session))
 
+    def _observe_minute(self, minute: int) -> None:
+        """Advance the retention watermark from an upload's minute.
+
+        The upload stream is the server's clock: when VPs for a newer
+        minute start arriving, the solicitation window has moved and
+        minutes that fell out of it become evictable.  No-op unless the
+        system carries a retention policy.  The concurrent front-end
+        overrides this to run the pass under ``control_lock``.
+
+        Two guards apply, both based on ``system.retention_watermark``
+        (the single source of truth — a system restarted over a
+        persistent store seeds it from the stored minutes, and
+        operator-driven ``advance_retention`` calls move it too, so the
+        clamp base can never silently diverge).  The claimed minute
+        advances the watermark by at most ``MAX_WATERMARK_STEP`` once
+        one is established — a far-future claim from a skewed (or
+        malicious) clock must not evict the whole retained window in
+        one shot; sustained honest traffic converges on the true minute
+        step by step.  And retention is housekeeping riding on an
+        upload that already succeeded: a transient storage error during
+        the pass must not turn the stored VP's ack into an error reply.
+        The error is swallowed and the watermark left behind, so the
+        next upload that observes this (or a newer) minute retries the
+        pass.
+        """
+        watermark = self.system.retention_watermark
+        if self.system.retention is None or minute <= watermark:
+            return
+        if watermark >= 0:
+            minute = min(minute, watermark + MAX_WATERMARK_STEP)
+        try:
+            self.system.advance_retention(minute)
+        except ReproError:
+            return
+
     # -- handlers ------------------------------------------------------------
 
     def _on_upload_vp(self, message: dict[str, Any]) -> bytes:
@@ -100,6 +152,7 @@ class ViewMapServer:
             self.system.ingest_vp(vp)
         except ValidationError:
             return encode_message("ack", accepted=False, reason="duplicate")
+        self._observe_minute(vp.minute)
         return encode_message("ack", accepted=True)
 
     def _on_upload_vp_batch(self, message: dict[str, Any]) -> bytes:
@@ -121,6 +174,8 @@ class ViewMapServer:
                 taken.add(vp.vp_id)
                 fresh.append(vp)
         inserted = self.system.ingest_vps(fresh)
+        if fresh:
+            self._observe_minute(max(vp.minute for vp in fresh))
         return encode_message("batch_ack", accepted=accepted, inserted=inserted)
 
     def _on_list_solicitations(self, message: dict[str, Any]) -> bytes:

@@ -21,8 +21,7 @@ view the tracker sees, so all schemes are scored by the same adversary.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from scipy.spatial import cKDTree
 import numpy as np

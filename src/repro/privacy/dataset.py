@@ -18,7 +18,6 @@ Neighbourship uses the same range + LOS predicate as the full channel.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from math import ceil
 

@@ -13,14 +13,13 @@ ablation bench quantifies exactly that.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 from scipy.spatial import cKDTree
 
-from repro.privacy.dataset import PrivacyDataset, VPRecord
-from repro.privacy.tracker import TrackingRun, VPTracker
+from repro.privacy.dataset import VPRecord
+from repro.privacy.tracker import VPTracker
 
 
 @dataclass

@@ -9,7 +9,6 @@ obstacle geometry would be too slow.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.constants import DSRC_RANGE_M, DSRC_TX_POWER_DBM

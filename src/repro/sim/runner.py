@@ -71,7 +71,7 @@ class SimulationResult:
             for minute in sorted(self.vps_by_minute)
         )
 
-    def ingest_concurrently(self, database, workers: int = 4) -> int:
+    def ingest_concurrently(self, database, workers: int = 4, retention=None) -> int:
         """Batch-insert every produced VP with N concurrent uploaders.
 
         Replays the corpus through the same ``insert_many`` batch path
@@ -84,28 +84,60 @@ class SimulationResult:
         Returns how many VPs were newly stored; the stored population is
         identical to the serial path, though per-minute insertion order
         may interleave differently.
+
+        ``retention`` (a :class:`~repro.store.lifecycle.RetentionPolicy`)
+        turns the replay into a *live* long-run: minutes are replayed in
+        wall-clock order and after each one the retention watermark
+        advances — eviction runs concurrently with the next minute's
+        uploads, exactly the steady state of a long-lived authority.
+        The store then ends the run holding only the retained window.
         """
         minutes = sorted(self.vps_by_minute)
-        if workers <= 1 or not minutes:
+        if (workers <= 1 and retention is None) or not minutes:
             return self.ingest_into(database)
-        chunks_per_minute = -(-workers // len(minutes))  # ceil division
-        batches: list[list[ViewProfile]] = []
-        for minute in minutes:
-            vps = self.vps_by_minute[minute]
-            if not vps:  # defaultdict reads can leave empty minutes behind
-                continue
-            n_chunks = min(chunks_per_minute, len(vps))
-            size = -(-len(vps) // n_chunks)
-            batches.extend(vps[s : s + size] for s in range(0, len(vps), size))
-        if not batches:
-            return 0
+        workers = max(workers, 1)
         from concurrent.futures import ThreadPoolExecutor
 
+        def minute_batches(minute: int, n_chunks: int) -> list[list[ViewProfile]]:
+            vps = self.vps_by_minute[minute]
+            if not vps:  # defaultdict reads can leave empty minutes behind
+                return []
+            n_chunks = min(n_chunks, len(vps))
+            size = -(-len(vps) // n_chunks)
+            return [vps[s : s + size] for s in range(0, len(vps), size)]
+
+        if retention is None:
+            # no watermark to order by: every minute's chunks fly at once
+            chunks_per_minute = -(-workers // len(minutes))  # ceil division
+            batches = [
+                b for minute in minutes for b in minute_batches(minute, chunks_per_minute)
+            ]
+            if not batches:
+                return 0
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(batches)),
+                thread_name_prefix="repro-ingest",
+            ) as pool:
+                futures = [pool.submit(database.insert_many, b) for b in batches]
+                return sum(f.result() for f in futures)
+
+        inserted = 0
         with ThreadPoolExecutor(
-            max_workers=min(workers, len(batches)), thread_name_prefix="repro-ingest"
+            max_workers=workers, thread_name_prefix="repro-ingest"
         ) as pool:
-            futures = [pool.submit(database.insert_many, batch) for batch in batches]
-            return sum(f.result() for f in futures)
+            eviction = None
+            for minute in minutes:
+                futures = [
+                    pool.submit(database.insert_many, b)
+                    for b in minute_batches(minute, workers)
+                ]
+                inserted += sum(f.result() for f in futures)
+                if eviction is not None:
+                    eviction.result()  # previous minute's pass, overlapped
+                eviction = pool.submit(database.evict_before, retention.cutoff(minute))
+            if eviction is not None:
+                eviction.result()
+        return inserted
 
     def actual_vps(self, minute: int) -> list[ViewProfile]:
         """Actual VPs of a minute (ground-truth filtered)."""

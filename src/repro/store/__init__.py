@@ -20,8 +20,15 @@ Every backend is thread-safe behind the concurrent authority front-end
 (:mod:`repro.net.concurrency`): memory serializes on one re-entrant
 lock, SQLite pairs per-thread connections with a single-writer lock and
 an LRU decode cache, and sharded fleets fan batch inserts out to their
-(thread-safe) shards concurrently.  ``docs/stores.md`` is the selection
-and tuning guide.
+(thread-safe) shards concurrently.  Sharded fleets optionally route by
+``(minute, spatial cell)`` composite keys (``shard_cells``) so a single
+hot minute fans out across shards.
+
+Retention lives in :mod:`repro.store.lifecycle`: a
+:class:`RetentionPolicy` plus the ``evict_before``/``compact`` contract
+every backend implements keep a long-running authority's footprint
+bounded to the solicitation window.  ``docs/stores.md`` is the
+selection and tuning guide.
 """
 
 from __future__ import annotations
@@ -30,8 +37,9 @@ from repro.errors import ValidationError
 from repro.store.base import StoreStats, VPStore
 from repro.store.codec import decode_vp, encode_vp
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
+from repro.store.lifecycle import LifecycleReport, RetentionPolicy, apply_retention
 from repro.store.memory import MemoryStore
-from repro.store.sharded import ShardedStore
+from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
 from repro.store.sqlite import DEFAULT_DECODE_CACHE, SQLiteStore
 
 #: backend names accepted by make_store and the CLI ``--store`` option
@@ -44,33 +52,47 @@ def make_store(
     n_shards: int = 4,
     cell_m: float = DEFAULT_CELL_M,
     decode_cache: int = DEFAULT_DECODE_CACHE,
+    shard_cells: int = 1,
+    route_cell_m: float = DEFAULT_ROUTE_CELL_M,
 ) -> VPStore:
     """Build a VP store backend from a CLI-style description.
 
     ``path`` only applies to ``sqlite`` (empty means a private in-memory
     database); ``n_shards``/``cell_m`` tune sharded/memory backends and
     ``decode_cache`` bounds the SQLite blob-decode LRU (0 disables).
-    All backends are thread-safe (see ``docs/stores.md``).
+    ``shard_cells`` > 1 switches the sharded backend to composite
+    ``(minute, spatial cell)`` routing with ``route_cell_m``-sized
+    cells, spreading hot minutes across shards.  All backends are
+    thread-safe (see ``docs/stores.md``).
     """
     if kind == "memory":
         return MemoryStore(cell_m=cell_m)
     if kind == "sqlite":
         return SQLiteStore(path or ":memory:", decode_cache=decode_cache)
     if kind == "sharded":
-        return ShardedStore.memory(n_shards=n_shards, cell_m=cell_m)
+        return ShardedStore.memory(
+            n_shards=n_shards,
+            cell_m=cell_m,
+            shard_cells=shard_cells,
+            route_cell_m=route_cell_m,
+        )
     raise ValidationError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")
 
 
 __all__ = [
     "DEFAULT_CELL_M",
     "DEFAULT_DECODE_CACHE",
+    "DEFAULT_ROUTE_CELL_M",
+    "LifecycleReport",
     "MemoryStore",
+    "RetentionPolicy",
     "STORE_KINDS",
     "ShardedStore",
     "SpatialGrid",
     "SQLiteStore",
     "StoreStats",
     "VPStore",
+    "apply_retention",
     "decode_vp",
     "encode_vp",
     "make_store",

@@ -15,7 +15,11 @@ Backends must agree exactly on semantics so they are interchangeable:
   ``trusted_by_minute``) return VPs in insertion order;
 * ``by_minute_in_area`` returns a VP iff any of its claimed positions
   lies inside the (closed) query rectangle — identical to a full linear
-  scan, however the backend prunes candidates.
+  scan, however the backend prunes candidates;
+* ``evict_before`` removes every VP of a minute strictly below the
+  cutoff (the retention watermark of :mod:`repro.store.lifecycle`) and
+  returns how many were dropped; ``compact`` reclaims whatever the
+  backend can (freed pages, empty buckets) and reports gauges.
 
 Since the concurrent front-end (:mod:`repro.net.concurrency`) landed,
 the contract also includes thread safety: every backend must tolerate
@@ -136,6 +140,18 @@ class VPStore(ABC):
         """
         return {vp_id for vp_id in vp_ids if vp_id in self}
 
+    def iter_id_minutes(self) -> Iterable[tuple[bytes, int]]:
+        """(vp_id, minute) pairs of every stored VP.
+
+        A metadata-only scan used to seed routing/duplicate indexes
+        (e.g. a :class:`~repro.store.sharded.ShardedStore` wrapping
+        pre-populated persistent shards).  Backends override this to
+        avoid decoding VP bodies.
+        """
+        for minute in self.minutes():
+            for vp in self.by_minute(minute):
+                yield vp.vp_id, minute
+
     # -- point reads -------------------------------------------------------
 
     @abstractmethod
@@ -160,6 +176,15 @@ class VPStore(ABC):
     def by_minute(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute, in insertion order."""
 
+    def count_by_minute(self, minute: int) -> int:
+        """How many VPs cover one minute.
+
+        Backends override this with a metadata-only count — retention
+        passes survey every retained minute, which must not decode VP
+        bodies.
+        """
+        return len(self.by_minute(minute))
+
     @abstractmethod
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
@@ -179,6 +204,27 @@ class VPStore(ABC):
         return trusted[:k]
 
     # -- lifecycle / introspection -----------------------------------------
+
+    @abstractmethod
+    def evict_before(self, minute: int) -> int:
+        """Remove every VP with ``vp.minute < minute``; returns the count.
+
+        The retention primitive: callers advance a monotonic watermark
+        (see :mod:`repro.store.lifecycle`) and the store drops whole
+        minutes below it.  Must be safe to run concurrently with
+        ingest — a VP racing into an evicted minute is stored normally
+        (the minute is re-created) and removed by the next pass.
+        """
+
+    def compact(self) -> dict[str, Any]:
+        """Reclaim space freed by eviction; returns backend gauges.
+
+        Default is a no-op for backends with nothing to reclaim.
+        Implementations may run maintenance (SQLite vacuum/analyze,
+        dropping empty buckets) and should stay incremental — compact
+        runs on a live store between retention passes.
+        """
+        return {}
 
     @abstractmethod
     def stats(self) -> StoreStats:

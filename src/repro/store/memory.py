@@ -71,6 +71,11 @@ class MemoryStore(VPStore):
         with self._lock:
             return self._by_id.get(vp_id)
 
+    def iter_id_minutes(self) -> list[tuple[bytes, int]]:
+        """(vp_id, minute) pairs of every stored VP (no body copies)."""
+        with self._lock:
+            return [(vp.vp_id, vp.minute) for vp in self._by_id.values()]
+
     def __len__(self) -> int:
         """Total stored VPs."""
         with self._lock:
@@ -93,6 +98,11 @@ class MemoryStore(VPStore):
         with self._lock:
             return list(self._by_minute.get(minute, []))
 
+    def count_by_minute(self, minute: int) -> int:
+        """How many VPs cover one minute (no copies)."""
+        with self._lock:
+            return len(self._by_minute.get(minute, ()))
+
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
         with self._lock:
@@ -110,6 +120,40 @@ class MemoryStore(VPStore):
         """The k trusted VPs of a minute closest to the investigation site."""
         with self._lock:
             return super().nearest_trusted(minute, site, k=k)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def evict_before(self, minute: int) -> int:
+        """Drop every minute bucket (and its grid) below the cutoff.
+
+        Whole-bucket removal: the per-minute list, the minute's spatial
+        grid and the id entries go together, so eviction cost scales
+        with the evicted population only — retained minutes are never
+        touched.
+        """
+        with self._lock:
+            evicted = 0
+            for m in [m for m in self._by_minute if m < minute]:
+                bucket = self._by_minute.pop(m)
+                self._grids.pop(m, None)
+                for vp in bucket:
+                    del self._by_id[vp.vp_id]
+                evicted += len(bucket)
+            return evicted
+
+    def compact(self) -> dict[str, int]:
+        """Occupancy gauges only: eviction already reclaims in full.
+
+        ``evict_before`` drops whole minute buckets (list, grid and id
+        entries together), so an in-memory store has no fragmentation
+        left to clean — compact is the observability hook of the
+        lifecycle contract here.
+        """
+        with self._lock:
+            return {
+                "minutes": len(self._by_minute),
+                "grid_cells": sum(g.n_cells for g in self._grids.values()),
+            }
 
     # -- introspection -----------------------------------------------------
 

@@ -1,30 +1,55 @@
-"""Horizontal scale-out: hash-partition VPs by minute across backends.
+"""Horizontal scale-out: hash-partition VPs across storage backends.
 
-Models the authority running N storage nodes: every VP is routed to
-``shards[minute % N]``, so a whole minute — the unit of investigation —
-lives on exactly one shard and minute/area queries touch a single
-backend.  Point lookups (``get``/``in``) probe shards in order, because
-an anonymous identifier carries no minute information.
+Models the authority running N storage nodes.  Routing is a composite
+``(minute, spatial cell)`` key:
 
-Shards can be any mix of backends (memory for hot minutes, SQLite for
-durable ones); the convenience constructors build homogeneous fleets.
+* with ``shard_cells=1`` (the default) the cell component vanishes and
+  every VP lands on ``shards[minute % N]`` — a whole minute, the unit
+  of investigation, lives on exactly one shard and minute/area queries
+  touch a single backend;
+* with ``shard_cells=C > 1`` each VP's first claimed position is hashed
+  into one of C spatial routing slots (cell edge ``route_cell_m``) and
+  the VP lands on ``shards[(minute + slot) % N]``.  A single *hot*
+  minute — rush hour concentrated in one district — now fans out across
+  ``min(C, N)`` shards, so concurrent batch inserts into the same
+  minute stop serializing behind one backend's writer lock.  Minute
+  queries gather from the (bounded) owner-shard set and re-merge into
+  fleet-wide insertion order via a per-minute sequence map.
 
-Thread safety: routing is stateless, but the fleet-wide duplicate-id
-check must not race — the same id arriving at two *different* minutes
-would pass two independent probes and land on two shards.  Writers
-therefore pass a short **reservation phase** under one lock (probe the
-fleet, claim the fresh ids in an in-flight set), and only the actual
-inserts fan out to the shards **concurrently** on a small private pool —
-with SQLite shards the per-shard commit I/O overlaps, which is where the
-scale-out throughput win comes from.  Reservations are dropped once the
-rows are visible in the shards, so the set stays small.
+Point lookups (``get``/``in``) probe shards in order, because an
+anonymous identifier carries no minute information.  Shards can be any
+mix of backends (memory for hot minutes, SQLite for durable ones); the
+convenience constructors build homogeneous fleets.
+
+Thread safety: routing itself is stateless, but the fleet-wide
+duplicate-id check must not race — the same id arriving at two
+*different* minutes (or two different cells of one minute) would pass
+two independent checks and land on two shards.  Writers therefore pass
+a short **reservation phase** under one lock: a pure in-memory probe of
+the wrapper's **id directory** (every stored id, grouped by minute and
+seeded from the shards at construction) plus a claim in an in-flight
+set.  Holding no backend round-trips under the routing lock keeps the
+reservation from serializing concurrent writers — the earlier design
+probed every shard per batch and throttled the whole fleet to one
+backend query stream.  The actual inserts then fan out to the shards in
+parallel: a lone caller uses a small private pool, concurrent callers
+run their own fan-outs inline on rotated shard orders (see
+``insert_many``).  Reservations are dropped once the rows are visible
+in the shards, so the in-flight set stays small.
+
+Lifecycle: ``evict_before`` retires whole minutes fleet-wide — the
+per-minute sequence map is dropped first (so queries stop resurrecting
+order state), then the eviction fans out to every shard.  An upload
+racing into a just-evicted minute is *not* an error: the reservation
+finds the fleet empty for that id again, the owning shard re-creates
+the minute bucket, and the next retention pass removes it.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
@@ -37,22 +62,44 @@ from repro.store.sqlite import SQLiteStore
 #: upper bound on the batch fan-out pool, whatever the shard count
 MAX_FANOUT_WORKERS = 8
 
+#: default spatial routing-cell edge — district-sized, far coarser than
+#: the query grid (`DEFAULT_CELL_M`): routing only needs to split a hot
+#: minute's load, not answer area queries
+DEFAULT_ROUTE_CELL_M = 1000.0
+
+_T = TypeVar("_T")
+
 
 class ShardedStore(VPStore):
     """Minute-partitioned wrapper over a fleet of VP store backends."""
 
     kind = "sharded"
 
-    def __init__(self, shards: Sequence[VPStore], fanout_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        shards: Sequence[VPStore],
+        fanout_workers: int | None = None,
+        shard_cells: int = 1,
+        route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+    ) -> None:
         """Wrap an ordered shard fleet.
 
         ``fanout_workers`` caps the pool used to parallelize batch
         inserts across shards (``None`` sizes it to the fleet, ``0``
-        forces serial fan-out).
+        forces serial fan-out).  ``shard_cells`` widens routing from
+        minute-only (1) to ``(minute, spatial cell)`` composite keys
+        over that many routing slots; ``route_cell_m`` is the edge of
+        one spatial routing cell.
         """
         if not shards:
             raise ValidationError("a sharded store needs at least one shard")
+        if shard_cells < 1:
+            raise ValidationError("shard_cells must be >= 1")
+        if route_cell_m <= 0:
+            raise ValidationError("route_cell_m must be positive")
         self.shards = list(shards)
+        self.shard_cells = shard_cells
+        self.route_cell_m = route_cell_m
         if fanout_workers is None:
             fanout_workers = min(len(self.shards), MAX_FANOUT_WORKERS)
         self.fanout_workers = fanout_workers
@@ -62,20 +109,114 @@ class ShardedStore(VPStore):
         # in any shard; guarded by the routing lock (see module docstring)
         self._route_lock = threading.Lock()
         self._in_flight: set[bytes] = set()
+        # concurrent insert_many calls in flight (guarded by _pool_lock)
+        # plus a rotation counter that staggers which shard each inline
+        # fan-out starts on, so concurrent callers don't convoy on the
+        # same shard's writer lock
+        self._active_batches = 0
+        self._rotation = 0
+        # the routing tier's fleet-wide id directory (id -> minute):
+        # duplicate checks and point-read routing answer from memory
+        # instead of probing every shard per batch (which serialized all
+        # writers behind N backend queries).  Seeded from pre-populated
+        # shards (metadata-only scan), kept exact by _release on the
+        # write paths and evict_before.  ``_minute_ids`` groups the same
+        # ids by minute so eviction retires a minute's directory entries
+        # wholesale; mutate both only through _directory_add and
+        # evict_before.
+        self._ids: dict[bytes, int] = {}
+        self._minute_ids: dict[int, set[bytes]] = {}
+        # composite routing spreads one minute across shards, so the
+        # fleet-wide insertion order must be tracked here: minute ->
+        # vp_id -> global sequence number (guarded by the routing lock,
+        # dropped wholesale when the minute is evicted)
+        self._minute_seq: dict[int, dict[bytes, int]] = {}
+        self._next_seq = 0
+        for shard in self.shards:
+            for vp_id, minute in shard.iter_id_minutes():
+                self._directory_add(vp_id, minute)
+                if self.shard_cells > 1:
+                    # seed order state for pre-populated shards: the true
+                    # cross-shard interleaving of a previous process is
+                    # unrecoverable, but per-shard order is kept and every
+                    # pre-existing VP sorts before anything inserted from
+                    # now on — a restart never inverts old behind new
+                    seq_map = self._minute_seq.setdefault(minute, {})
+                    seq_map[vp_id] = self._next_seq
+                    self._next_seq += 1
+
+    def _directory_add(self, vp_id: bytes, minute: int) -> None:
+        """Record one stored id in the directory.
+
+        Callers hold the routing lock (construction runs pre-sharing and
+        needs none).  Single mutation point for the paired structures:
+        the id -> minute map and the per-minute id groups move in
+        lockstep or not at all.
+        """
+        self._ids[vp_id] = minute
+        self._minute_ids.setdefault(minute, set()).add(vp_id)
 
     @classmethod
-    def memory(cls, n_shards: int = 4, cell_m: float = DEFAULT_CELL_M) -> "ShardedStore":
+    def memory(
+        cls,
+        n_shards: int = 4,
+        cell_m: float = DEFAULT_CELL_M,
+        shard_cells: int = 1,
+        route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+    ) -> "ShardedStore":
         """A fleet of in-memory shards."""
-        return cls([MemoryStore(cell_m=cell_m) for _ in range(n_shards)])
+        return cls(
+            [MemoryStore(cell_m=cell_m) for _ in range(n_shards)],
+            shard_cells=shard_cells,
+            route_cell_m=route_cell_m,
+        )
 
     @classmethod
-    def sqlite(cls, paths: Sequence[str]) -> "ShardedStore":
+    def sqlite(
+        cls,
+        paths: Sequence[str],
+        shard_cells: int = 1,
+        route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+    ) -> "ShardedStore":
         """A fleet of SQLite shards, one database file per path."""
-        return cls([SQLiteStore(path) for path in paths])
+        return cls(
+            [SQLiteStore(path) for path in paths],
+            shard_cells=shard_cells,
+            route_cell_m=route_cell_m,
+        )
+
+    # -- routing -----------------------------------------------------------
 
     def shard_for(self, minute: int) -> VPStore:
-        """The backend owning one minute's VPs."""
+        """The backend owning one minute's VPs under minute-only routing."""
         return self.shards[minute % len(self.shards)]
+
+    def _cell_slot(self, vp: ViewProfile) -> int:
+        """The VP's spatial routing slot in ``[0, shard_cells)``.
+
+        Derived from the routing cell of the *first* claimed position —
+        deterministic per VP, so the same VP always routes to the same
+        shard.  The mix is an explicit integer hash (stable across
+        processes, unlike ``hash()`` on strings) so a persistent fleet
+        reopened later routes queries to the same shards.
+        """
+        if self.shard_cells == 1:
+            return 0
+        x, y = vp.positions_array[0]
+        cx = int(float(x) // self.route_cell_m)
+        cy = int(float(y) // self.route_cell_m)
+        mixed = (cx * 0x9E3779B1 + cy * 0x85EBCA77) & 0xFFFFFFFF
+        return mixed % self.shard_cells
+
+    def _shard_index(self, vp: ViewProfile) -> int:
+        """Composite ``(minute, cell)`` shard index for one VP."""
+        return (vp.minute + self._cell_slot(vp)) % len(self.shards)
+
+    def _owner_indices(self, minute: int) -> list[int]:
+        """Every shard index that may hold VPs of one minute."""
+        n = len(self.shards)
+        slots = min(self.shard_cells, n)
+        return sorted({(minute + slot) % n for slot in range(slots)})
 
     def _fanout_pool(self) -> ThreadPoolExecutor | None:
         """The lazily created cross-shard insert pool (None = serial)."""
@@ -94,28 +235,59 @@ class ShardedStore(VPStore):
     def _reserve(self, vps: list[ViewProfile]) -> list[ViewProfile]:
         """Claim the batch's fresh ids against the fleet and in-flight set.
 
-        Runs the fleet-wide duplicate probe and the claim as one atomic
+        Runs the fleet-wide duplicate check and the claim as one atomic
         step, closing the window where the same id at two different
-        minutes would pass two independent probes and land on two
-        shards.  Returns the VPs this caller now owns the right to
-        insert (first claim per id wins); release with ``_release``.
+        minutes (or cells) would pass two independent checks and land on
+        two shards.  The check is a pure in-memory probe of the id
+        directory — no backend round-trips while the routing lock is
+        held.  Returns the VPs this caller now owns the right to insert
+        (first claim per id wins); release with ``_release``.
         """
         with self._route_lock:
-            existing = self.existing_ids([vp.vp_id for vp in vps])
-            existing |= self._in_flight
+            taken = self._ids
             fresh: list[ViewProfile] = []
+            seen: set[bytes] = set()
             for vp in vps:
-                if vp.vp_id in existing:
+                if vp.vp_id in taken or vp.vp_id in self._in_flight or vp.vp_id in seen:
                     continue
-                existing.add(vp.vp_id)
+                seen.add(vp.vp_id)
                 fresh.append(vp)
-            self._in_flight.update(vp.vp_id for vp in fresh)
+            self._in_flight.update(seen)
+            if self.shard_cells > 1:
+                # claim fleet-wide insertion-order slots while the batch
+                # order is still known; a stale entry from a failed
+                # insert is harmless (merges only order rows that exist)
+                for vp in fresh:
+                    seq_map = self._minute_seq.setdefault(vp.minute, {})
+                    seq_map[vp.vp_id] = self._next_seq
+                    self._next_seq += 1
             return fresh
 
-    def _release(self, vps: list[ViewProfile]) -> None:
-        """Drop reservations once the rows are visible in the shards."""
+    def _release(self, vps: list[ViewProfile], stored: bool) -> None:
+        """Drop reservations; record ids whose rows landed in a shard."""
         with self._route_lock:
             self._in_flight.difference_update(vp.vp_id for vp in vps)
+            if stored:
+                for vp in vps:
+                    self._directory_add(vp.vp_id, vp.minute)
+
+    def _release_after_failure(self, vps: list[ViewProfile]) -> None:
+        """Reconcile the directory when an insert raised mid-flight.
+
+        An exception leaves the per-shard outcome unknown (some
+        sub-batches may have committed before another shard failed), so
+        the claimed ids are re-probed against the backends and only the
+        rows that actually landed are recorded — keeping the directory
+        exactly as trustworthy as the shard probes it replaced.
+        """
+        by_id = {vp.vp_id: vp for vp in vps}
+        landed: set[bytes] = set()
+        for shard in self.shards:
+            landed |= shard.existing_ids(list(by_id))
+        with self._route_lock:
+            self._in_flight.difference_update(by_id)
+            for vp_id in landed:
+                self._directory_add(vp_id, by_id[vp_id].minute)
 
     def insert(self, vp: ViewProfile) -> None:
         """Store one VP; raises ``ValidationError`` on a duplicate id.
@@ -128,9 +300,11 @@ class ShardedStore(VPStore):
         if not claimed:
             raise ValidationError(DUPLICATE_ID_MESSAGE)
         try:
-            self.shard_for(vp.minute).insert(vp)
-        finally:
-            self._release(claimed)
+            self.shards[self._shard_index(vp)].insert(vp)
+        except BaseException:
+            self._release_after_failure(claimed)
+            raise
+        self._release(claimed, stored=True)
 
     def insert_trusted(self, vp: ViewProfile) -> None:
         """Store a VP through the authority path, marking it trusted.
@@ -145,52 +319,100 @@ class ShardedStore(VPStore):
             raise ValidationError(DUPLICATE_ID_MESSAGE)
         try:
             vp.trusted = True
-            self.shard_for(vp.minute).insert(vp)
-        finally:
-            self._release(claimed)
+            self.shards[self._shard_index(vp)].insert(vp)
+        except BaseException:
+            self._release_after_failure(claimed)
+            raise
+        self._release(claimed, stored=True)
 
     def insert_many(self, vps: Iterable[ViewProfile]) -> int:
         """Batch-ingest VPs, skipping duplicates; returns how many landed.
 
         The batch is deduplicated (against the fleet, in-flight writes,
         and within itself) under the routing lock, partitioned by owning
-        shard, and the per-shard sub-batches are inserted concurrently.
+        shard, and the per-shard sub-batches inserted in parallel.
         Racing batches that contain the same VP agree on a single winner
         and the summed counts stay exact.
+
+        Parallelism is adaptive: a lone caller fans its sub-batches out
+        on the private pool (overlapping per-shard commit I/O), while
+        concurrent callers each run their own fan-out inline — the
+        callers already provide the thread-level parallelism, and
+        funnelling every sub-batch through one bounded pool would just
+        queue them.  Inline fan-outs start on rotated shards so racing
+        callers walk the fleet out of phase instead of convoying on one
+        writer lock.
         """
         fresh = self._reserve(list(vps))
         try:
             by_shard: dict[int, list[ViewProfile]] = {}
             for vp in fresh:
-                by_shard.setdefault(vp.minute % len(self.shards), []).append(vp)
-            pool = self._fanout_pool() if len(by_shard) > 1 else None
-            if pool is None:
-                return sum(
-                    self.shards[idx].insert_many(batch)
-                    for idx, batch in by_shard.items()
-                )
-            futures = [
-                pool.submit(self.shards[idx].insert_many, batch)
-                for idx, batch in by_shard.items()
-            ]
-            return sum(f.result() for f in futures)
-        finally:
-            self._release(fresh)
+                by_shard.setdefault(self._shard_index(vp), []).append(vp)
+            with self._pool_lock:
+                self._active_batches += 1
+                contended = self._active_batches > 1
+                self._rotation += 1
+                rotation = self._rotation
+            try:
+                pool = None
+                if len(by_shard) > 1 and not contended:
+                    pool = self._fanout_pool()
+                if pool is None:
+                    order = sorted(
+                        by_shard,
+                        key=lambda idx: (idx + rotation) % len(self.shards),
+                    )
+                    inserted = sum(
+                        self.shards[idx].insert_many(by_shard[idx]) for idx in order
+                    )
+                else:
+                    futures = [
+                        pool.submit(self.shards[idx].insert_many, batch)
+                        for idx, batch in by_shard.items()
+                    ]
+                    # drain every sub-batch before surfacing a failure:
+                    # the post-failure directory reconciliation probes
+                    # the shards and must see the final outcome, not
+                    # race a sibling sub-batch that is still committing
+                    wait(futures)
+                    inserted = sum(f.result() for f in futures)
+            finally:
+                with self._pool_lock:
+                    self._active_batches -= 1
+        except BaseException:
+            self._release_after_failure(fresh)
+            raise
+        self._release(fresh, stored=True)
+        return inserted
 
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
-        """Which of these identifiers are stored on any shard."""
-        ids = list(vp_ids)
-        found: set[bytes] = set()
-        for shard in self.shards:
-            found |= shard.existing_ids(ids)
-        return found
+        """Which of these identifiers are stored on any shard.
+
+        Answered from the routing tier's id directory — one set probe
+        per id, no shard round-trips.
+        """
+        with self._route_lock:
+            return {vp_id for vp_id in vp_ids if vp_id in self._ids}
 
     # -- point reads -------------------------------------------------------
 
     def get(self, vp_id: bytes) -> ViewProfile | None:
-        """Fetch one VP by identifier, probing shards in order."""
-        for shard in self.shards:
-            vp = shard.get(vp_id)
+        """Fetch one VP by identifier via the id directory.
+
+        Misses (common on investigation paths after eviction) cost one
+        in-memory probe; hits route to the minute's owner shards only.
+        The residual fleet sweep covers directory entries whose rows
+        moved — a fleet reopened under a different routing config — so
+        a stored VP is never unreachable.
+        """
+        with self._route_lock:
+            minute = self._ids.get(vp_id)
+        if minute is None:
+            return None
+        owners = self._owner_indices(minute)
+        rest = [i for i in range(len(self.shards)) if i not in owners]
+        for idx in owners + rest:
+            vp = self.shards[idx].get(vp_id)
             if vp is not None:
                 return vp
         return None
@@ -201,7 +423,12 @@ class ShardedStore(VPStore):
 
     def __contains__(self, vp_id: bytes) -> bool:
         """True when any shard stores a VP with this identifier."""
-        return any(vp_id in shard for shard in self.shards)
+        with self._route_lock:
+            return vp_id in self._ids
+
+    def iter_id_minutes(self) -> list[tuple[bytes, int]]:
+        """(vp_id, minute) pairs of every stored VP, shard by shard."""
+        return [pair for shard in self.shards for pair in shard.iter_id_minutes()]
 
     # -- minute/area queries -----------------------------------------------
 
@@ -212,19 +439,111 @@ class ShardedStore(VPStore):
             out.update(shard.minutes())
         return sorted(out)
 
+    def _merge_minute(
+        self, minute: int, per_shard: list[list[ViewProfile]]
+    ) -> list[ViewProfile]:
+        """Re-assemble one minute's fleet-wide insertion order.
+
+        Each shard returns its VPs in local insertion order; the
+        per-minute sequence map restores the global order.  The map is
+        seeded at construction for pre-populated shards (per-shard
+        order, every old VP before every new one), so unknown ids are a
+        last-resort safety net only: they keep their per-shard order and
+        trail the known ones.  Callers needing *exact* cross-restart
+        order use minute-only routing, where rowid order is the truth.
+        """
+        with self._route_lock:
+            seqs = dict(self._minute_seq.get(minute, ()))
+        known: list[tuple[int, ViewProfile]] = []
+        unknown: list[ViewProfile] = []
+        for vps in per_shard:
+            for vp in vps:
+                seq = seqs.get(vp.vp_id)
+                if seq is None:
+                    unknown.append(vp)
+                else:
+                    known.append((seq, vp))
+        known.sort(key=lambda pair: pair[0])
+        return [vp for _, vp in known] + unknown
+
+    def _gather_minute(
+        self, minute: int, query: Callable[[VPStore], list[ViewProfile]]
+    ) -> list[ViewProfile]:
+        """Run one minute-scoped query against every owner shard."""
+        if self.shard_cells == 1:
+            return query(self.shard_for(minute))
+        per_shard = [query(self.shards[idx]) for idx in self._owner_indices(minute)]
+        return self._merge_minute(minute, per_shard)
+
     def by_minute(self, minute: int) -> list[ViewProfile]:
-        """All VPs covering one minute (single-shard query)."""
-        return self.shard_for(minute).by_minute(minute)
+        """All VPs covering one minute, in fleet-wide insertion order."""
+        return self._gather_minute(minute, lambda s: s.by_minute(minute))
+
+    def count_by_minute(self, minute: int) -> int:
+        """How many VPs cover one minute, over the owner-shard set."""
+        if self.shard_cells == 1:
+            return self.shard_for(minute).count_by_minute(minute)
+        return sum(
+            self.shards[idx].count_by_minute(minute)
+            for idx in self._owner_indices(minute)
+        )
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
-        return self.shard_for(minute).by_minute_in_area(minute, area)
+        return self._gather_minute(minute, lambda s: s.by_minute_in_area(minute, area))
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        """Trusted VPs of one minute (single-shard query)."""
-        return self.shard_for(minute).trusted_by_minute(minute)
+        """Trusted VPs of one minute, in fleet-wide insertion order."""
+        return self._gather_minute(minute, lambda s: s.trusted_by_minute(minute))
 
     # -- lifecycle / introspection -----------------------------------------
+
+    def _map_shards(self, fn: Callable[[VPStore], _T]) -> list[_T]:
+        """Apply one operation to every shard, on the pool when available."""
+        pool = self._fanout_pool()
+        if pool is None:
+            return [fn(shard) for shard in self.shards]
+        return [f.result() for f in [pool.submit(fn, shard) for shard in self.shards]]
+
+    def evict_before(self, minute: int) -> int:
+        """Retire every minute below the cutoff across the whole fleet.
+
+        Ordering matters against racing writers: the shard rows are
+        deleted *first*, and only then are the (snapshotted) directory
+        entries dropped.  While the pass runs, a re-upload of an
+        evicted id is still rejected by the directory — never admitted
+        against a half-evicted fleet, which would strand the directory
+        with ids whose rows are gone.  A *fresh* id racing into an
+        evicted minute is stored normally (its directory entry is not
+        in the snapshot, so the cleanup leaves it alone) and the next
+        retention pass removes it.  The one unavoidable window — an
+        insert that landed just before its shard's eviction but
+        released after the snapshot — leaves a directory-only ghost
+        that the next pass sweeps, so repeated watermark advances keep
+        the directory exact.
+        """
+        with self._route_lock:
+            for m in [m for m in self._minute_seq if m < minute]:
+                del self._minute_seq[m]
+            snapshot = {
+                m: set(ids) for m, ids in self._minute_ids.items() if m < minute
+            }
+        evicted = sum(self._map_shards(lambda shard: shard.evict_before(minute)))
+        with self._route_lock:
+            for m, ids in snapshot.items():
+                current = self._minute_ids.get(m)
+                if current is None:
+                    continue
+                current.difference_update(ids)
+                if not current:
+                    del self._minute_ids[m]
+                for vp_id in ids:
+                    self._ids.pop(vp_id, None)
+        return evicted
+
+    def compact(self) -> dict:
+        """Compact every shard; returns per-shard gauges in fleet order."""
+        return {"shards": self._map_shards(lambda shard: shard.compact())}
 
     def stats(self) -> StoreStats:
         """Fleet-wide occupancy with per-shard detail."""
@@ -237,6 +556,8 @@ class ShardedStore(VPStore):
             detail={
                 "n_shards": len(self.shards),
                 "fanout_workers": self.fanout_workers,
+                "shard_cells": self.shard_cells,
+                "route_cell_m": self.route_cell_m,
                 "shard_backends": [s.backend for s in per_shard],
                 "shard_vps": [s.vps for s in per_shard],
             },

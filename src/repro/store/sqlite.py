@@ -98,6 +98,9 @@ _TRUSTED_BY_MINUTE = (
     "SELECT vp_id, body, trusted FROM vps WHERE minute = ? AND trusted = 1"
     " ORDER BY rowid"
 )
+_EVICT = "DELETE FROM vps WHERE minute < ?"
+_ID_MINUTES = "SELECT vp_id, minute FROM vps ORDER BY rowid"
+_COUNT_BY_MINUTE = "SELECT COUNT(*) FROM vps WHERE minute = ?"
 
 #: ``IN (...)`` lists are padded up to the nearest bucket so the id probe
 #: compiles a handful of statement shapes instead of one per batch size
@@ -107,6 +110,10 @@ _IN_BUCKETS = (1, 8, 64, 500)
 _MEMDB_SEQ = itertools.count()
 
 DEFAULT_DECODE_CACHE = 1024
+
+#: compaction vacuums only when at least this much is reclaimable —
+#: roughly a few hundred evicted VPs' worth of freed pages
+DEFAULT_COMPACT_BYTES = 1 << 20
 
 
 class SQLiteStore(VPStore):
@@ -145,6 +152,10 @@ class SQLiteStore(VPStore):
         self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
+        # bumped by evict_before (under the cache lock): a reader that
+        # selected rows before an eviction must not re-populate the
+        # cache with VPs whose rows are now gone
+        self._evict_epoch = 0
         self._closed = False
         try:
             self._keepalive = self._connect()
@@ -171,6 +182,10 @@ class SQLiteStore(VPStore):
             cached_statements=self.cached_statements,
         )
         if not self._uri:
+            # set before the schema lands so fresh databases track freed
+            # pages; compact() then reclaims them incrementally instead
+            # of rewriting the whole file (no-op on pre-existing files)
+            conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
             # WAL lets per-thread readers proceed while the writer commits
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
@@ -212,8 +227,23 @@ class SQLiteStore(VPStore):
             encode_vp(vp),
         )
 
-    def _vp_of(self, vp_id: bytes, body: bytes, trusted: int) -> ViewProfile:
-        """Decode one row, going through the LRU decode cache."""
+    def _cache_epoch(self) -> int:
+        """Snapshot the eviction epoch (captured *before* a row SELECT)."""
+        if self.decode_cache <= 0:
+            return 0
+        with self._cache_lock:
+            return self._evict_epoch
+
+    def _vp_of(
+        self, vp_id: bytes, body: bytes, trusted: int, epoch: int = -1
+    ) -> ViewProfile:
+        """Decode one row, going through the LRU decode cache.
+
+        ``epoch`` is the eviction epoch the caller captured before
+        running its SELECT; if an eviction landed in between, the row
+        may already be gone and the decoded VP is returned *without*
+        being cached — a cached id must stay proof of existence.
+        """
         if self.decode_cache <= 0:
             return decode_vp(bytes(body), trusted=bool(trusted))
         key = bytes(vp_id)
@@ -226,10 +256,11 @@ class SQLiteStore(VPStore):
             self._cache_misses += 1
         vp = decode_vp(bytes(body), trusted=bool(trusted))  # decode unlocked
         with self._cache_lock:
-            self._cache[key] = vp
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.decode_cache:
-                self._cache.popitem(last=False)
+            if epoch == self._evict_epoch:
+                self._cache[key] = vp
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.decode_cache:
+                    self._cache.popitem(last=False)
         return vp
 
     # -- writes ------------------------------------------------------------
@@ -279,14 +310,21 @@ class SQLiteStore(VPStore):
             found.update(bytes(vp_id) for (vp_id,) in rows)
         return found
 
+    def iter_id_minutes(self) -> list[tuple[bytes, int]]:
+        """(vp_id, minute) pairs of every stored VP — no blob decode."""
+        with self._read_guard:
+            rows = self._conn.execute(_ID_MINUTES).fetchall()
+        return [(bytes(vp_id), minute) for vp_id, minute in rows]
+
     # -- point reads -------------------------------------------------------
 
     def get(self, vp_id: bytes) -> ViewProfile | None:
         """Fetch one VP by identifier.
 
         A decode-cache hit answers without touching SQLite at all —
-        rows are never updated or deleted, so a cached id is proof of
-        existence and content.
+        rows are never updated, and the only deletion path
+        (``evict_before``) purges the matching cache entries before it
+        returns, so a cached id is proof of existence and content.
         """
         if self.decode_cache > 0:
             key = bytes(vp_id)
@@ -296,11 +334,12 @@ class SQLiteStore(VPStore):
                     self._cache.move_to_end(key)
                     self._cache_hits += 1
                     return vp
+        epoch = self._cache_epoch()
         with self._read_guard:
             row = self._conn.execute(_GET, (vp_id,)).fetchone()
         if row is None:
             return None
-        return self._vp_of(*row)
+        return self._vp_of(*row, epoch=epoch)
 
     def __len__(self) -> int:
         """Total stored VPs."""
@@ -321,9 +360,15 @@ class SQLiteStore(VPStore):
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute, in insertion order."""
+        epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
-        return [self._vp_of(*row) for row in rows]
+        return [self._vp_of(*row, epoch=epoch) for row in rows]
+
+    def count_by_minute(self, minute: int) -> int:
+        """How many VPs cover one minute (index-only count)."""
+        with self._read_guard:
+            return self._conn.execute(_COUNT_BY_MINUTE, (minute,)).fetchone()[0]
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``.
@@ -331,21 +376,105 @@ class SQLiteStore(VPStore):
         The bbox index prunes candidates; each surviving row is decoded
         (cache-assisted) and exact-checked per claimed position.
         """
+        epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(
                 _BY_MINUTE_IN_AREA,
                 (minute, area.x_min, area.x_max, area.y_min, area.y_max),
             ).fetchall()
-        candidates = (self._vp_of(*row) for row in rows)
+        candidates = (self._vp_of(*row, epoch=epoch) for row in rows)
         return [vp for vp in candidates if vp_claims_in_area(vp, area)]
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
         """Trusted VPs of one minute, in insertion order."""
+        epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(_TRUSTED_BY_MINUTE, (minute,)).fetchall()
-        return [self._vp_of(*row) for row in rows]
+        return [self._vp_of(*row, epoch=epoch) for row in rows]
 
-    # -- lifecycle / introspection -----------------------------------------
+    # -- lifecycle ---------------------------------------------------------
+
+    def evict_before(self, minute: int) -> int:
+        """Delete every VP below the cutoff via the minute index.
+
+        Runs inside the single-writer lock as one transaction, counted
+        from the DELETE cursor — evicting millions of rows never
+        materializes their ids.  The decode cache is purged by scanning
+        its own (bounded) entries for evicted minutes, and the eviction
+        epoch is bumped first so readers that selected rows before this
+        pass decline to re-cache them: after eviction a cached id is no
+        longer proof of existence, so the cache must never outlive the
+        rows.  Freed pages go on SQLite's freelist; ``compact()``
+        returns them to the filesystem.
+        """
+        with self._write_lock:
+            conn = self._conn
+            with conn:
+                evicted = conn.execute(_EVICT, (minute,)).rowcount
+            if evicted and self.decode_cache > 0:
+                with self._cache_lock:
+                    self._evict_epoch += 1
+                    stale = [
+                        key for key, vp in self._cache.items() if vp.minute < minute
+                    ]
+                    for key in stale:
+                        del self._cache[key]
+            return evicted
+
+    def compact(self, min_reclaim_bytes: int = DEFAULT_COMPACT_BYTES) -> dict:
+        """Reclaim space freed by eviction and refresh planner stats.
+
+        Vacuums only when the freelist holds at least
+        ``min_reclaim_bytes`` — incrementally on databases created by
+        this class (``auto_vacuum=INCREMENTAL``), via a full ``VACUUM``
+        otherwise — then runs ``ANALYZE`` so the query planner sees the
+        post-eviction minute distribution.  File databases additionally
+        truncate the WAL so the on-disk footprint matches the data.
+        """
+        with self._write_lock:
+            conn = self._conn
+            page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+            freelist = conn.execute("PRAGMA freelist_count").fetchone()[0]
+            reclaimable = page_size * freelist
+            vacuumed = False
+            if reclaimable >= min_reclaim_bytes:
+                if conn.execute("PRAGMA auto_vacuum").fetchone()[0] == 2:
+                    # one execute() of the pragma is not stepped to
+                    # completion by sqlite3 and frees only a page or
+                    # two — loop until the freelist stops shrinking
+                    remaining = freelist
+                    while remaining:
+                        conn.execute("PRAGMA incremental_vacuum").fetchall()
+                        now = conn.execute("PRAGMA freelist_count").fetchone()[0]
+                        if now >= remaining:
+                            break
+                        remaining = now
+                else:
+                    conn.execute("VACUUM")
+                vacuumed = True
+            conn.execute("ANALYZE")
+            if not self._uri:
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            pages = conn.execute("PRAGMA page_count").fetchone()[0]
+            return {
+                "vacuumed": vacuumed,
+                "reclaimable_bytes": reclaimable,
+                "db_bytes": page_size * pages,
+            }
+
+    def file_bytes(self) -> int:
+        """On-disk footprint (main file + WAL); 0 for in-memory stores."""
+        if self._uri:
+            return 0
+        total = 0
+        for suffix in ("", "-wal"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
+
+    # -- introspection -----------------------------------------------------
 
     def stats(self) -> StoreStats:
         """Occupancy snapshot (detail: path, connections, decode cache)."""

@@ -1,6 +1,6 @@
 """Tests for concentration attacks."""
 
-from repro.attacks.collusion import SyntheticViewmapConfig, build_synthetic_viewmap
+from repro.attacks.collusion import build_synthetic_viewmap
 from repro.attacks.concentration import concentration_trial, place_dummy_vps
 from tests.attacks.test_collusion import SMALL
 

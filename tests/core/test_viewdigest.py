@@ -119,8 +119,12 @@ class TestIncomingValidation:
 
     def test_rejects_stale_time(self):
         vd = sample_vd()
-        assert not validate_incoming_vd(vd, now=5.0, receiver_position=Point(150, 200), max_range_m=400)
+        assert not validate_incoming_vd(
+            vd, now=5.0, receiver_position=Point(150, 200), max_range_m=400
+        )
 
     def test_rejects_far_location(self):
         vd = sample_vd()
-        assert not validate_incoming_vd(vd, now=1.0, receiver_position=Point(900, 200), max_range_m=400)
+        assert not validate_incoming_vd(
+            vd, now=1.0, receiver_position=Point(900, 200), max_range_m=400
+        )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.constants import BLOOM_BITS
 from repro.crypto.bloom import (
     BloomFilter,
     bloom_positions,

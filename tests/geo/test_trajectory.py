@@ -8,7 +8,9 @@ from repro.geo.trajectory import Trajectory
 
 
 def straight(n=5):
-    return Trajectory(times=[float(i) for i in range(n)], points=[Point(10.0 * i, 0) for i in range(n)])
+    return Trajectory(
+        times=[float(i) for i in range(n)], points=[Point(10.0 * i, 0) for i in range(n)]
+    )
 
 
 class TestConstruction:

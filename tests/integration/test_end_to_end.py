@@ -10,8 +10,6 @@ import pytest
 
 from repro.core.rewarding import claim_reward
 from repro.core.system import ViewMapSystem
-from repro.core.viewmap import build_viewmap
-from repro.geo.geometry import Point
 from repro.geo.routing import make_grid_route_fn
 from repro.mobility.scenarios import city_scenario
 from repro.radio.channel import DsrcChannel

@@ -43,7 +43,13 @@ class TestEnvelopeProperties:
         st.binary(max_size=40),
     )
 
-    @given(st.dictionaries(st.text(min_size=1, max_size=10).filter(lambda s: s != "kind"), scalars, max_size=5))
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=10).filter(lambda s: s != "kind"),
+            scalars,
+            max_size=5,
+        )
+    )
     @settings(max_examples=50)
     def test_roundtrip(self, fields):
         decoded = decode_message(encode_message("test", **fields))

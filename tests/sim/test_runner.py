@@ -128,3 +128,30 @@ class TestConcurrentIngest:
         from repro.store import MemoryStore
 
         assert SimulationResult().ingest_concurrently(MemoryStore(), workers=4) == 0
+
+    def test_retention_replay_keeps_only_the_window(self):
+        from repro.store import MemoryStore, RetentionPolicy
+
+        result = self._fabricated_result(n_minutes=4, per_minute=5)
+        store = MemoryStore()
+        inserted = result.ingest_concurrently(
+            store, workers=4, retention=RetentionPolicy(window_minutes=2)
+        )
+        assert inserted == 20  # every VP passed through the store...
+        assert store.minutes() == [2, 3]  # ...but only the window remains
+        assert len(store) == 10
+        for minute in (2, 3):
+            assert {vp.vp_id for vp in store.by_minute(minute)} == {
+                vp.vp_id for vp in result.vps_by_minute[minute]
+            }
+
+    def test_retention_replay_with_single_worker(self):
+        from repro.store import MemoryStore, RetentionPolicy
+
+        result = self._fabricated_result(n_minutes=3, per_minute=4)
+        store = MemoryStore()
+        inserted = result.ingest_concurrently(
+            store, workers=1, retention=RetentionPolicy(window_minutes=1)
+        )
+        assert inserted == 12
+        assert store.minutes() == [2]

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.geo.geometry import Point, Rect
-from repro.store import MemoryStore, ShardedStore
+from repro.store import ShardedStore
 from tests.store.conftest import fingerprints, make_vp
 
 

@@ -50,3 +50,22 @@ class TestCommands:
         ]) == 0
         assert out_file.exists()
         assert "viewlinks" in capsys.readouterr().out
+
+    def test_fig21_cell_sharded_store_with_retention(self, capsys):
+        # composite routing + a window covering the whole 2-minute trace:
+        # the figure output is unchanged and the store reports both minutes
+        assert main([
+            "fig21", "--vehicles", "12", "--area-km", "1.5",
+            "--store", "sharded", "--shards", "4", "--shard-cells", "4",
+            "--retention-minutes", "5", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "store: sharded" in out and "2 minutes" in out
+
+    def test_fig21_retention_shorter_than_trace_evicts_early_minutes(self, capsys):
+        assert main([
+            "fig21", "--vehicles", "12", "--area-km", "1.5",
+            "--retention-minutes", "1",
+        ]) == 0
+        # only the newest of the two simulated minutes survives ingest
+        assert "1 minutes" in capsys.readouterr().out

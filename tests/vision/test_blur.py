@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.vision.blur import BlurPipeline, blur_regions
-from repro.vision.frames import FrameSpec, PlateRegion, synthesize_frame
+from repro.vision.frames import FrameSpec, synthesize_frame
 
 
 class TestBlurRegions:

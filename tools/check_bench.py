@@ -1,0 +1,115 @@
+"""Benchmark regression gate for the CI bench job.
+
+Compares a pytest-benchmark JSON report (``--benchmark-json`` output)
+against the committed baseline and fails when any benchmark's median
+runtime regressed by more than the threshold (default 25%).
+
+    python tools/check_bench.py BENCH_pr.json
+    python tools/check_bench.py BENCH_pr.json --threshold 0.25
+    python tools/check_bench.py BENCH_pr.json --update   # refresh baseline
+
+The committed baseline (``benchmarks/BENCH_baseline.json``) is a
+*reduced* form — one ``{median, mean, rounds}`` entry per benchmark —
+so it diffs cleanly and carries no machine-specific noise beyond the
+timings themselves.  Regenerate it with ``--update`` from a run on the
+reference machine (the CI runner class) whenever benchmarks are added
+or the fleet changes; timings from a different machine class are not
+comparable.
+
+Exit codes: 0 = within threshold, 1 = regression (or benchmarks missing
+from the run), 2 = usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def reduce_report(report: dict) -> dict[str, dict[str, float]]:
+    """Map one pytest-benchmark JSON report to {name: reduced stats}."""
+    reduced = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench["stats"]
+        reduced[bench["fullname"]] = {
+            "median": stats["median"],
+            "mean": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+    return reduced
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="pytest-benchmark JSON from this run")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed median slowdown as a fraction (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the run's reduced stats to the baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = reduce_report(json.loads(Path(args.report).read_text()))
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot read benchmark report {args.report!r}: {exc}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"no benchmarks recorded in {args.report!r}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {len(current)} benchmarks -> {baseline_path}")
+        return 0
+
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        got = current.get(name)
+        if got is None:
+            failures.append(f"MISSING  {name} (in baseline, not in this run)")
+            continue
+        ratio = got["median"] / base["median"] if base["median"] > 0 else float("inf")
+        marker = "OK"
+        if ratio > 1.0 + args.threshold:
+            marker = "REGRESSED"
+            failures.append(
+                f"{marker}  {name}: median {got['median']:.6f}s vs "
+                f"baseline {base['median']:.6f}s ({ratio:.2f}x)"
+            )
+        print(f"{marker:<10s} {name}  {ratio:.2f}x of baseline")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NEW        {name}  (no baseline yet; add with --update)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) outside the +{args.threshold:.0%} "
+              "threshold:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} baselined benchmarks within +{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
