@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import time
 
+import random
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.core.neighbors import NeighborTable
 from repro.core.system import ViewMapSystem
 from repro.core.viewdigest import VDGenerator, make_secret
@@ -31,7 +34,7 @@ from repro.net.concurrency import ConcurrentViewMapServer, ThreadedNetwork
 from repro.net.messages import encode_message, pack_vp_batch
 from repro.net.server import ViewMapServer
 from repro.net.transport import InMemoryNetwork
-from repro.store import ShardedStore, SQLiteStore, MemoryStore
+from repro.store import ProcessShardedStore, ShardedStore, SQLiteStore, MemoryStore
 
 from benchmarks.conftest import fmt_row
 
@@ -40,6 +43,16 @@ N_BATCHES = 24        #: concurrent vehicles, one batch request each
 VPS_PER_BATCH = 8
 N_MINUTES = 4         #: minutes spanned, so batches fan out across shards
 WORKERS = 8
+
+# -- hot-shard process-worker workload (see the tests below) ---------------
+AREA_M = 10_000.0          #: city edge length for the hot-minute corpus
+HOT_BATCHES = 64           #: vehicles uploading the hot minute, one batch each
+HOT_BATCH_VPS = 16         #: VPs per vehicle batch
+N_PROC_WORKERS = 4         #: worker OS processes in the fleet
+COMMIT_LATENCY_S = 0.010   #: modeled per-commit durability cost (fsync class)
+GROUP_ROWS = 512           #: worker group-commit size
+GROUP_DEADLINE_S = 0.25    #: worker group-commit age bound for the burst
+FEEDERS = 8                #: uploader threads feeding the fleet
 
 
 def make_wire_vp(seed: int, minute: int, x0: float) -> ViewProfile:
@@ -158,8 +171,6 @@ def test_concurrent_ingest_throughput(show, tmp_path):
 
 def test_benchmark_threaded_batch_ingest(benchmark):
     """Timed (regression-gated in CI): 8 uploader threads, sharded fleet."""
-    from concurrent.futures import ThreadPoolExecutor
-
     batches = [
         [
             make_wire_vp(seed=1 + b * VPS_PER_BATCH + i, minute=i % N_MINUTES, x0=50.0 * b)
@@ -182,3 +193,144 @@ def test_benchmark_threaded_batch_ingest(benchmark):
         store.close()
 
     benchmark(ingest)
+
+
+# -- hot-shard ingest past the GIL: process workers + group commit ---------
+#
+# One minute, every vehicle uploading at once — the workload where PR 3
+# measured threaded ingest into a SQLite shard at ~1.1x serial: batch
+# encoding, row building and the sqlite3 binding's per-row work all hold
+# the GIL, and the single writer lock serializes each (modeled) commit.
+# Durability is modeled as ``commit_latency_s`` per write transaction —
+# the fsync a production authority pays (``synchronous=FULL``, networked
+# storage) that the dev container's page cache hides; the same modeling
+# idiom as the fabrics' ``latency_s`` and the lifecycle bench's
+# throttled nodes.  Sleeps hold the owning store's writer lock, so they
+# serialize per store and overlap across worker processes — exactly the
+# physics of per-node storage.
+
+
+def make_hot_vp(seed: int, x0: float) -> ViewProfile:
+    """One 8-digest minute-0 VP at a city position (hot-minute corpus)."""
+    gen = VDGenerator(make_secret(seed))
+    for i in range(8):
+        gen.tick(float(i + 1), Point(x0 + 5.0 * i, 100.0), b"chunk")
+    return build_view_profile(gen.digests, NeighborTable())
+
+
+def hot_shard_batches(tag: int) -> list[list[ViewProfile]]:
+    """Fresh hot-minute upload burst; new VP objects per run.
+
+    Fresh objects keep the per-VP codec caches cold (the state of a VP
+    just unpacked from the wire), so the timed region pays the full
+    serial ingest path — encode, bbox, rows — not a pre-chewed one.
+    """
+    rng = random.Random(7)
+    base = 1 + tag * (HOT_BATCHES * HOT_BATCH_VPS + 1)
+    return [
+        [
+            make_hot_vp(seed=base + b * HOT_BATCH_VPS + i, x0=rng.uniform(0.0, AREA_M))
+            for i in range(HOT_BATCH_VPS)
+        ]
+        for b in range(HOT_BATCHES)
+    ]
+
+
+def run_hot_serial(tmp_path, tag: int) -> float:
+    """Status-quo serial ingest into one SQLite shard; elapsed seconds."""
+    n = HOT_BATCHES * HOT_BATCH_VPS
+    store = SQLiteStore(
+        str(tmp_path / f"hot-serial-{tag}.sqlite"), commit_latency_s=COMMIT_LATENCY_S
+    )
+    batches = hot_shard_batches(tag)
+    t0 = time.perf_counter()
+    inserted = sum(store.insert_many(b) for b in batches)
+    assert len(store) == n
+    elapsed = time.perf_counter() - t0
+    assert inserted == n
+    store.close()
+    return elapsed
+
+
+def run_hot_threaded(tmp_path, tag: int) -> float:
+    """FEEDERS threads into ONE SQLite shard — the ~1.1x GIL wall."""
+    n = HOT_BATCHES * HOT_BATCH_VPS
+    store = SQLiteStore(
+        str(tmp_path / f"hot-thr-{tag}.sqlite"), commit_latency_s=COMMIT_LATENCY_S
+    )
+    batches = hot_shard_batches(tag)
+    with ThreadPoolExecutor(max_workers=FEEDERS) as pool:
+        t0 = time.perf_counter()
+        inserted = sum(pool.map(store.insert_many, batches))
+        assert len(store) == n
+        elapsed = time.perf_counter() - t0
+    assert inserted == n
+    store.close()
+    return elapsed
+
+
+def run_hot_procs(tmp_path, tag: int) -> float:
+    """FEEDERS threads into N_PROC_WORKERS worker processes."""
+    n = HOT_BATCHES * HOT_BATCH_VPS
+    store = ProcessShardedStore.sqlite(
+        [str(tmp_path / f"hot-procs-{tag}-{i}.sqlite") for i in range(N_PROC_WORKERS)],
+        shard_cells=N_PROC_WORKERS,
+        group_commit_rows=GROUP_ROWS,
+        group_commit_latency_s=GROUP_DEADLINE_S,
+        commit_latency_s=COMMIT_LATENCY_S,
+    )
+    batches = hot_shard_batches(tag)
+    with ThreadPoolExecutor(max_workers=FEEDERS) as pool:
+        t0 = time.perf_counter()
+        inserted = sum(pool.map(store.insert_many, batches))
+        # the fleet-wide count flushes every worker's pending group, so
+        # the timed region ends with all rows committed
+        assert len(store) == n
+        elapsed = time.perf_counter() - t0
+    assert inserted == n
+    store.close()
+    return elapsed
+
+
+def test_process_hot_shard_ingest_speedup(show, tmp_path):
+    """Acceptance: >= 2.5x hot-shard insert_many with 4 worker processes."""
+    n = HOT_BATCHES * HOT_BATCH_VPS
+    t_serial = run_hot_serial(tmp_path, 0)
+    t_thread = run_hot_threaded(tmp_path, 0)
+    t_procs = run_hot_procs(tmp_path, 0)
+    speedup = t_serial / t_procs
+
+    show(
+        f"Hot-shard ingest — {HOT_BATCHES} uploads x {HOT_BATCH_VPS} VPs of ONE "
+        f"minute, {1e3 * COMMIT_LATENCY_S:.0f} ms modeled commit latency",
+        fmt_row("serial / thr8 / procs4 s", [t_serial, t_thread, t_procs], "{:>10.3f}"),
+        fmt_row("throughput kVP/s", [n / t_serial / 1e3, n / t_thread / 1e3,
+                                     n / t_procs / 1e3], "{:>10.2f}"),
+        fmt_row("speedup vs serial", [1.0, t_serial / t_thread, speedup], "{:>10.2f}"),
+    )
+
+    # threads alone stay GIL/writer-lock bound (the PR 3 measurement)...
+    assert t_serial / t_thread < 2.0
+    # ...while 4 worker processes + group commit clear the acceptance bar
+    assert speedup >= 2.5
+
+    # and routing moved no data: the populations are identical
+    ref_ids = {vp.vp_id for b in hot_shard_batches(0) for vp in b}
+    store = ProcessShardedStore.sqlite(
+        [str(tmp_path / f"hot-procs-0-{i}.sqlite") for i in range(N_PROC_WORKERS)],
+        shard_cells=N_PROC_WORKERS,
+    )
+    assert store.existing_ids(ref_ids) == ref_ids
+    store.close()
+
+
+def test_benchmark_process_hot_shard_ingest(benchmark, tmp_path):
+    """Timed (regression-gated in CI): the process-worker ingest path."""
+    state = {"round": 1}
+
+    def ingest():
+        tag = state["round"]
+        state["round"] += 1
+        run_hot_procs(tmp_path, tag)
+
+    benchmark.pedantic(ingest, rounds=3, iterations=1)

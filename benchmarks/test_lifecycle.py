@@ -291,3 +291,34 @@ def test_benchmark_hot_minute_insert_many(benchmark):
         store.close()
 
     benchmark(ingest_and_reset)
+
+
+def test_benchmark_group_commit_small_batches(benchmark, tmp_path):
+    """Timed: many small batches into one SQLite store, group-committed.
+
+    The group-commit claim in one number: 40 x 8-VP batches (the wire
+    batch shape) land in a handful of grouped transactions instead of
+    40, each charged the modeled per-commit durability cost.
+    """
+    state = {"round": 0}
+
+    def ingest():
+        tag = state["round"]
+        state["round"] += 1
+        batches = [
+            [
+                make_vp(seed=1 + tag * 321 + b * 8 + i, minute=0, x=40.0 * i, y=8.0 * b)
+                for i in range(8)
+            ]
+            for b in range(40)
+        ]
+        store = SQLiteStore(
+            str(tmp_path / f"group-{tag}.sqlite"),
+            group_commit_rows=256,
+            commit_latency_s=0.010,
+        )
+        inserted = sum(store.insert_many(b) for b in batches)
+        assert len(store) == 320 and inserted == 320
+        store.close()
+
+    benchmark.pedantic(ingest, rounds=3, iterations=1)

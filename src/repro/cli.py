@@ -85,17 +85,24 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
         path=args.store_path,
         n_shards=args.shards,
         shard_cells=args.shard_cells,
+        ingest_workers=args.ingest_workers,
+        group_commit_rows=args.group_commit_rows,
     )
     retention = (
         RetentionPolicy(window_minutes=args.retention_minutes)
         if args.retention_minutes > 0
         else None
     )
-    stats, vmap = city_viewmap_stats(
-        args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed,
-        store=store, workers=args.workers, retention=retention,
-    )
-    occupancy = store.stats()
+    try:
+        stats, vmap = city_viewmap_stats(
+            args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed,
+            store=store, workers=args.workers, retention=retention,
+        )
+        occupancy = store.stats()
+    finally:
+        # flushes group-commit buffers and stops worker processes — a
+        # daemon-killed fleet would strand WAL files mid-checkpoint
+        store.close()
     print(f"store: {occupancy.backend} ({occupancy.vps} VPs, "
           f"{occupancy.minutes} minutes)")
     print(f"{stats.label}: {stats.nodes} VPs, {stats.edges} viewlinks, "
@@ -152,8 +159,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--shard-cells",
             type=int,
             default=1,
-            help="spatial routing cells per minute for --store sharded "
+            help="spatial routing cells per minute for --store sharded/procs "
             "(>1 spreads a hot minute across shards)",
+        )
+        cmd.add_argument(
+            "--ingest-workers",
+            type=int,
+            default=4,
+            help="worker OS processes for --store procs (each shard gets "
+            "its own GIL and commit stream)",
+        )
+        cmd.add_argument(
+            "--group-commit-rows",
+            type=int,
+            default=None,
+            help="SQLite group-commit size in rows for --store sqlite/procs "
+            "(0 = commit per batch; default keeps each backend's own — "
+            "off for sqlite, 512 inside procs workers)",
         )
         cmd.add_argument(
             "--retention-minutes",

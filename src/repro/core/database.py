@@ -77,9 +77,13 @@ class VPDatabase:
         """The k trusted VPs of a minute closest to the investigation site."""
         return self.store.nearest_trusted(minute, site, k=k)
 
-    def evict_before(self, minute: int) -> int:
-        """Retire every VP below the retention cutoff; returns the count."""
-        return self.store.evict_before(minute)
+    def evict_before(self, minute: int, keep_trusted: bool = False) -> int:
+        """Retire every VP below the retention cutoff; returns the count.
+
+        ``keep_trusted`` pins trusted VPs past the cutoff
+        (``RetentionPolicy(pin_trusted=True)`` semantics).
+        """
+        return self.store.evict_before(minute, keep_trusted=keep_trusted)
 
     def compact(self) -> dict:
         """Reclaim space freed by eviction (backend-specific gauges)."""

@@ -90,7 +90,12 @@ class SimulationResult:
         wall-clock order and after each one the retention watermark
         advances — eviction runs concurrently with the next minute's
         uploads, exactly the steady state of a long-lived authority.
-        The store then ends the run holding only the retained window.
+        The store then ends the run holding only the retained window
+        (trusted VPs excepted when the policy pins them).  A
+        process-sharded store (``make_store("procs", ...)``) composes
+        naturally: the uploader threads feed the worker fleet
+        concurrently, and eviction fans out across the worker
+        processes.
         """
         minutes = sorted(self.vps_by_minute)
         if (workers <= 1 and retention is None) or not minutes:
@@ -134,7 +139,11 @@ class SimulationResult:
                 inserted += sum(f.result() for f in futures)
                 if eviction is not None:
                     eviction.result()  # previous minute's pass, overlapped
-                eviction = pool.submit(database.evict_before, retention.cutoff(minute))
+                eviction = pool.submit(
+                    database.evict_before,
+                    retention.cutoff(minute),
+                    keep_trusted=retention.pin_trusted,
+                )
             if eviction is not None:
                 eviction.result()
         return inserted

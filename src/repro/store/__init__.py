@@ -13,6 +13,12 @@ contract):
 * :class:`~repro.store.sharded.ShardedStore` — hash-partitions minutes
   across N inner backends to model horizontal scale-out.  Pick it when
   one node cannot absorb a city's upload stream.
+* :class:`~repro.store.workers.ProcessShardedStore` — the sharded
+  fleet with every shard in its own worker OS process, fed over pipes
+  with the columnar batch codec.  Pick it when a *hot* shard's ingest
+  is GIL-bound: batch encode/decode and SQLite group commits run on
+  the workers' GILs, so hot-shard ``insert_many`` scales with worker
+  count instead of ~1.1x.
 
 :func:`make_store` maps the CLI-facing backend names to instances.
 
@@ -35,15 +41,20 @@ from __future__ import annotations
 
 from repro.errors import ValidationError
 from repro.store.base import StoreStats, VPStore
-from repro.store.codec import decode_vp, encode_vp
+from repro.store.codec import decode_vp, decode_vp_batch, encode_vp, encode_vp_batch
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
 from repro.store.lifecycle import LifecycleReport, RetentionPolicy, apply_retention
 from repro.store.memory import MemoryStore
 from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
 from repro.store.sqlite import DEFAULT_DECODE_CACHE, SQLiteStore
+from repro.store.workers import (
+    DEFAULT_WORKER_GROUP_ROWS,
+    ProcessShardedStore,
+    WorkerShard,
+)
 
 #: backend names accepted by make_store and the CLI ``--store`` option
-STORE_KINDS = ("memory", "sqlite", "sharded")
+STORE_KINDS = ("memory", "sqlite", "sharded", "procs")
 
 
 def make_store(
@@ -54,24 +65,57 @@ def make_store(
     decode_cache: int = DEFAULT_DECODE_CACHE,
     shard_cells: int = 1,
     route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+    ingest_workers: int = 4,
+    group_commit_rows: int | None = None,
+    directory: str = "",
 ) -> VPStore:
     """Build a VP store backend from a CLI-style description.
 
-    ``path`` only applies to ``sqlite`` (empty means a private in-memory
-    database); ``n_shards``/``cell_m`` tune sharded/memory backends and
-    ``decode_cache`` bounds the SQLite blob-decode LRU (0 disables).
-    ``shard_cells`` > 1 switches the sharded backend to composite
-    ``(minute, spatial cell)`` routing with ``route_cell_m``-sized
-    cells, spreading hot minutes across shards.  All backends are
-    thread-safe (see ``docs/stores.md``).
+    ``path`` applies to ``sqlite`` (empty means a private in-memory
+    database) and to ``procs``, where it becomes the per-worker
+    database prefix (``{path}.worker{i}.sqlite``; empty keeps the
+    workers in memory); ``n_shards``/``cell_m`` tune sharded/memory
+    backends and ``decode_cache`` bounds the SQLite blob-decode LRU
+    (0 disables).  ``shard_cells`` > 1 switches the sharded backends to
+    composite ``(minute, spatial cell)`` routing with
+    ``route_cell_m``-sized cells, spreading hot minutes across shards.
+    ``ingest_workers`` sizes the ``procs`` worker-process fleet;
+    ``group_commit_rows`` sets SQLite group commit (``sqlite``
+    directly, ``procs`` inside each worker): ``None`` keeps each
+    backend's default — off for ``sqlite``, 512 rows inside ``procs``
+    workers — while an explicit 0 always means commit-per-batch.
+    ``directory`` names the sharded id-directory snapshot file
+    (cold-start seeding).  All backends are thread-safe (see
+    ``docs/stores.md``).
     """
     if kind == "memory":
         return MemoryStore(cell_m=cell_m)
     if kind == "sqlite":
-        return SQLiteStore(path or ":memory:", decode_cache=decode_cache)
+        return SQLiteStore(
+            path or ":memory:",
+            decode_cache=decode_cache,
+            group_commit_rows=group_commit_rows or 0,
+        )
     if kind == "sharded":
         return ShardedStore.memory(
             n_shards=n_shards,
+            cell_m=cell_m,
+            shard_cells=shard_cells,
+            route_cell_m=route_cell_m,
+        )
+    if kind == "procs":
+        if path:
+            return ProcessShardedStore.sqlite(
+                [f"{path}.worker{i}.sqlite" for i in range(ingest_workers)],
+                shard_cells=shard_cells,
+                route_cell_m=route_cell_m,
+                group_commit_rows=DEFAULT_WORKER_GROUP_ROWS
+                if group_commit_rows is None
+                else group_commit_rows,
+                directory=directory,
+            )
+        return ProcessShardedStore.memory(
+            n_workers=ingest_workers,
             cell_m=cell_m,
             shard_cells=shard_cells,
             route_cell_m=route_cell_m,
@@ -85,6 +129,7 @@ __all__ = [
     "DEFAULT_ROUTE_CELL_M",
     "LifecycleReport",
     "MemoryStore",
+    "ProcessShardedStore",
     "RetentionPolicy",
     "STORE_KINDS",
     "ShardedStore",
@@ -92,8 +137,11 @@ __all__ = [
     "SQLiteStore",
     "StoreStats",
     "VPStore",
+    "WorkerShard",
     "apply_retention",
     "decode_vp",
+    "decode_vp_batch",
     "encode_vp",
+    "encode_vp_batch",
     "make_store",
 ]

@@ -18,8 +18,11 @@ Backends must agree exactly on semantics so they are interchangeable:
   scan, however the backend prunes candidates;
 * ``evict_before`` removes every VP of a minute strictly below the
   cutoff (the retention watermark of :mod:`repro.store.lifecycle`) and
-  returns how many were dropped; ``compact`` reclaims whatever the
-  backend can (freed pages, empty buckets) and reports gauges.
+  returns how many were dropped; with ``keep_trusted=True`` trusted VPs
+  are pinned past the cutoff (``RetentionPolicy(pin_trusted=True)`` —
+  an eviction pass must never drop an investigation's seeds);
+  ``compact`` reclaims whatever the backend can (freed pages, empty
+  buckets) and reports gauges.
 
 Since the concurrent front-end (:mod:`repro.net.concurrency`) landed,
 the contract also includes thread safety: every backend must tolerate
@@ -77,14 +80,24 @@ def vp_claims_in_area(vp: ViewProfile, area: Rect) -> bool:
 
 
 def vp_bounding_box(vp: ViewProfile) -> tuple[float, float, float, float]:
-    """(x_min, y_min, x_max, y_max) over the VP's claimed positions."""
-    pos = vp.positions_array
-    return (
-        float(pos[:, 0].min()),
-        float(pos[:, 1].min()),
-        float(pos[:, 0].max()),
-        float(pos[:, 1].max()),
-    )
+    """(x_min, y_min, x_max, y_max) over the VP's claimed positions.
+
+    Memoized on the VP (claimed positions are immutable once built):
+    the box is recomputed on every storage-row build and batch framing
+    otherwise, and four numpy reductions per VP add up on city-scale
+    ingest.
+    """
+    cached = vp.__dict__.get("_bounding_box")
+    if cached is None:
+        pos = vp.positions_array
+        cached = (
+            float(pos[:, 0].min()),
+            float(pos[:, 1].min()),
+            float(pos[:, 0].max()),
+            float(pos[:, 1].max()),
+        )
+        vp.__dict__["_bounding_box"] = cached
+    return cached
 
 
 def min_squared_distance(vp: ViewProfile, site: Point) -> float:
@@ -206,7 +219,7 @@ class VPStore(ABC):
     # -- lifecycle / introspection -----------------------------------------
 
     @abstractmethod
-    def evict_before(self, minute: int) -> int:
+    def evict_before(self, minute: int, keep_trusted: bool = False) -> int:
         """Remove every VP with ``vp.minute < minute``; returns the count.
 
         The retention primitive: callers advance a monotonic watermark
@@ -214,6 +227,9 @@ class VPStore(ABC):
         minutes below it.  Must be safe to run concurrently with
         ingest — a VP racing into an evicted minute is stored normally
         (the minute is re-created) and removed by the next pass.
+        ``keep_trusted=True`` pins trusted VPs: they survive the pass
+        whatever their minute, so an active investigation's seeds are
+        never evicted mid-flight (``RetentionPolicy(pin_trusted=True)``).
         """
 
     def compact(self) -> dict[str, Any]:

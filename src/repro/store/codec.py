@@ -11,29 +11,70 @@ built from the same :mod:`repro.util.encoding` primitives as the wire
 formats.  The trusted flag deliberately lives *outside* the blob (as a
 backend column), mirroring the rule that trust is asserted by the
 ingestion path, never by serialized content.
+
+On top of the per-VP blob sits the **columnar batch format**
+(:func:`encode_vp_batch` / :func:`decode_vp_batch`): one length-prefixed
+buffer per batch instead of N independently pickled objects.  Each
+record carries, *outside* the body blob, exactly the metadata a storage
+backend indexes on — trusted flag, minute, trajectory bounding box and
+the VP identifier:
+
+    version (1B) | count (4B)
+    record := flags (1B) | minute (4B) | bbox (4 x float64)
+              | vp_id (16B) | len-prefixed body blob
+
+so a consumer can route, deduplicate or build SQLite rows
+(:func:`iter_encoded_rows`) without decoding a single body.  The batch
+format is both the IPC framing of the process shard workers
+(:mod:`repro.store.workers`) and the feed of the SQLite group-commit
+path (:meth:`repro.store.sqlite.SQLiteStore.insert_encoded`).
 """
 
 from __future__ import annotations
 
-from repro.constants import VD_MESSAGE_BYTES
+import struct
+from typing import Iterator, Sequence
+
+from repro.constants import VD_MESSAGE_BYTES, VP_ID_BYTES
 from repro.core.viewdigest import ViewDigest
 from repro.core.viewprofile import ViewProfile
 from repro.crypto.bloom import BloomFilter
 from repro.errors import WireFormatError
+from repro.store.base import vp_bounding_box
 from repro.util.encoding import pack_prefixed, pack_uint, unpack_prefixed, unpack_uint
 
 VP_BLOB_VERSION = 1
 
+VP_BATCH_VERSION = 1
+
+#: trusted flag bit in a batch record's flags byte
+_FLAG_TRUSTED = 0x01
+
+#: fixed leading section of one batch record: flags, minute, bbox
+_RECORD_HEAD = struct.Struct(">BI4d")
+
 
 def encode_vp(vp: ViewProfile) -> bytes:
-    """Serialize one VP (of any digest count) to its storage blob."""
-    digest_block = b"".join(vd.pack() for vd in vp.digests)
-    return (
-        pack_uint(VP_BLOB_VERSION, 1)
-        + pack_uint(vp.bloom.k, 2)
-        + pack_prefixed(digest_block)
-        + vp.bloom.to_bytes()
-    )
+    """Serialize one VP (of any digest count) to its storage blob.
+
+    The blob is memoized on the VP (like ``ViewDigest.pack``): digests
+    and bloom are immutable once built, and the trusted flag
+    deliberately lives outside the blob, so one VP always encodes to
+    the same bytes.  A VP that crosses the storage path more than once
+    — serial row building, then batch framing to a shard worker — pays
+    the 60-digest join exactly once.
+    """
+    blob = vp.__dict__.get("_storage_blob")
+    if blob is None:
+        digest_block = b"".join(vd.pack() for vd in vp.digests)
+        blob = (
+            pack_uint(VP_BLOB_VERSION, 1)
+            + pack_uint(vp.bloom.k, 2)
+            + pack_prefixed(digest_block)
+            + vp.bloom.to_bytes()
+        )
+        vp.__dict__["_storage_blob"] = blob
+    return blob
 
 
 def decode_vp(blob: bytes, trusted: bool = False) -> ViewProfile:
@@ -56,3 +97,77 @@ def decode_vp(blob: bytes, trusted: bool = False) -> ViewProfile:
     ]
     bloom = BloomFilter.from_bytes(blob[offset:], k=bloom_k)
     return ViewProfile(digests=digests, bloom=bloom, trusted=trusted)
+
+
+# -- columnar batch format -------------------------------------------------
+
+
+def encode_vp_batch(vps: Sequence[ViewProfile]) -> bytes:
+    """Serialize a whole batch of VPs into one contiguous buffer.
+
+    Metadata (trusted flag, minute, bounding box, VP id) rides outside
+    the body blobs so consumers can route and index without decoding;
+    record order is batch order, which backends treat as insertion
+    order.
+    """
+    parts = [pack_uint(VP_BATCH_VERSION, 1), pack_uint(len(vps), 4)]
+    for vp in vps:
+        minute = vp.minute
+        if minute < 0:
+            raise WireFormatError(f"cannot batch-encode negative minute {minute}")
+        parts.append(
+            _RECORD_HEAD.pack(
+                _FLAG_TRUSTED if vp.trusted else 0, minute, *vp_bounding_box(vp)
+            )
+        )
+        parts.append(vp.vp_id)
+        parts.append(pack_prefixed(encode_vp(vp)))
+    return b"".join(parts)
+
+
+def iter_encoded_rows(batch: bytes) -> Iterator[tuple]:
+    """Walk a batch buffer yielding storage rows, bodies left encoded.
+
+    Each row is ``(vp_id, minute, trusted, x_min, y_min, x_max, y_max,
+    body)`` — exactly the column order of the SQLite backend's ``vps``
+    table, so group-commit ingest is a pure pass-through.  Raises
+    :class:`WireFormatError` on version/length mismatches.
+    """
+    if len(batch) < 5:
+        raise WireFormatError("VP batch too short for header")
+    version = unpack_uint(batch[0:1])
+    if version != VP_BATCH_VERSION:
+        raise WireFormatError(f"unsupported VP batch version {version}")
+    count = unpack_uint(batch[1:5])
+    offset = 5
+    for _ in range(count):
+        head_end = offset + _RECORD_HEAD.size
+        if head_end + VP_ID_BYTES > len(batch):
+            raise WireFormatError("truncated VP batch record")
+        flags, minute, x_min, y_min, x_max, y_max = _RECORD_HEAD.unpack(
+            batch[offset:head_end]
+        )
+        vp_id = batch[head_end : head_end + VP_ID_BYTES]
+        body, offset = unpack_prefixed(batch, head_end + VP_ID_BYTES)
+        yield (vp_id, minute, flags & _FLAG_TRUSTED, x_min, y_min, x_max, y_max, body)
+    if offset != len(batch):
+        raise WireFormatError(
+            f"VP batch of {count} records leaves {len(batch) - offset} trailing bytes"
+        )
+
+
+def decode_vp_batch(batch: bytes) -> list[ViewProfile]:
+    """Rebuild the full VP list from a batch buffer (order preserved).
+
+    The trusted flag is restored from the record metadata — inside a
+    batch buffer it is ingestion-path state in transit between two
+    halves of the same store (supervisor and worker), not uploader
+    -controlled content.
+    """
+    out: list[ViewProfile] = []
+    for vp_id, _minute, trusted, *_bbox, body in iter_encoded_rows(batch):
+        vp = decode_vp(body, trusted=bool(trusted))
+        if vp.vp_id != vp_id:
+            raise WireFormatError("VP batch record id does not match its body")
+        out.append(vp)
+    return out

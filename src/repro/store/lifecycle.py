@@ -50,12 +50,20 @@ class RetentionPolicy:
     cheap and runs every pass, while compaction does real maintenance
     work (SQLite vacuum/ANALYZE/WAL truncation) and must not run on
     every minute rollover of a live upload stream.
+
+    ``pin_trusted`` exempts trusted VPs from eviction entirely: an
+    investigation seeded from police-fleet VPs must never lose its
+    seeds to a retention pass racing the investigation window.  All
+    backends honor it (``evict_before(..., keep_trusted=True)``);
+    trusted VPs are a tiny, authority-controlled population, so the
+    pinned footprint stays bounded by the fleet, not the city.
     """
 
     window_minutes: int
     grace: int = 0
     max_vps_per_minute: int = 0
     compact_every: int = 10
+    pin_trusted: bool = False
 
     def __post_init__(self) -> None:
         if self.window_minutes < 1:
@@ -108,15 +116,16 @@ def apply_retention(
 ) -> LifecycleReport:
     """Run one retention pass against a store at a given watermark.
 
-    Evicts everything below ``policy.cutoff(newest_minute)``, surveys
-    retained minutes against the advisory population cap, and (when
-    ``compact=True``) asks the backend to reclaim the space just freed.
-    Safe to call concurrently with ingest: ``evict_before`` is part of
-    the thread-safe store contract, and an upload racing into an
+    Evicts everything below ``policy.cutoff(newest_minute)`` — trusted
+    VPs excepted when the policy pins them — surveys retained minutes
+    against the advisory population cap, and (when ``compact=True``)
+    asks the backend to reclaim the space just freed.  Safe to call
+    concurrently with ingest: ``evict_before`` is part of the
+    thread-safe store contract, and an upload racing into an
     already-evicted minute simply lands again until the next pass.
     """
     cutoff = policy.cutoff(newest_minute)
-    evicted = store.evict_before(cutoff)
+    evicted = store.evict_before(cutoff, keep_trusted=policy.pin_trusted)
     overloaded: dict[int, int] = {}
     if policy.max_vps_per_minute > 0:
         for minute in store.minutes():

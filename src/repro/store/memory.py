@@ -123,22 +123,33 @@ class MemoryStore(VPStore):
 
     # -- lifecycle ---------------------------------------------------------
 
-    def evict_before(self, minute: int) -> int:
+    def evict_before(self, minute: int, keep_trusted: bool = False) -> int:
         """Drop every minute bucket (and its grid) below the cutoff.
 
         Whole-bucket removal: the per-minute list, the minute's spatial
         grid and the id entries go together, so eviction cost scales
         with the evicted population only — retained minutes are never
-        touched.
+        touched.  With ``keep_trusted`` an evicted minute's trusted VPs
+        survive: the bucket is rebuilt around them (the grid re-indexes
+        the survivors in their original insertion order), so an active
+        investigation's seeds outlive the watermark.
         """
         with self._lock:
             evicted = 0
             for m in [m for m in self._by_minute if m < minute]:
                 bucket = self._by_minute.pop(m)
                 self._grids.pop(m, None)
+                pinned = [vp for vp in bucket if vp.trusted] if keep_trusted else []
                 for vp in bucket:
+                    if keep_trusted and vp.trusted:
+                        continue
                     del self._by_id[vp.vp_id]
-                evicted += len(bucket)
+                    evicted += 1
+                if pinned:
+                    self._by_minute[m] = pinned
+                    grid = self._grids[m] = SpatialGrid(cell_m=self.cell_m)
+                    for vp in pinned:
+                        grid.insert(vp)
             return evicted
 
     def compact(self) -> dict[str, int]:

@@ -35,6 +35,21 @@ Thread safety and performance (the concurrency-control contract of
   investigation queries over hot minutes near-memory-speed.  Entries are
   safe to share because stored VPs are immutable after ingest (the
   trusted flag is fixed at insert time).
+* **group commit** — with ``group_commit_rows > 0`` writes accumulate
+  encoded rows in a pending buffer instead of committing per call: one
+  ``executemany`` + commit lands a whole group, bounded by rows
+  (``group_commit_rows``), bytes (``group_commit_bytes``) and age
+  (``group_commit_latency_s``, enforced at the next write or an
+  explicit :meth:`flush_if_due`).  A hot-shard ingest stream of many
+  small batches stops paying one fsync'd transaction per batch — the
+  single largest serial cost measured in
+  ``benchmarks/test_concurrent_ingest.py``.  Semantics are preserved:
+  duplicate checks consult the pending buffer (its rows are already
+  deduplicated against the table), every *query* flushes first
+  (read-your-writes), and ``evict_before``/``compact``/``close`` flush
+  unconditionally.  Durability narrows to the group: a crash loses at
+  most the unflushed rows, the same window WAL's
+  ``synchronous=NORMAL`` already trades away.
 """
 
 from __future__ import annotations
@@ -44,6 +59,7 @@ import itertools
 import os
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from typing import Iterable
 
@@ -57,7 +73,7 @@ from repro.store.base import (
     vp_bounding_box,
     vp_claims_in_area,
 )
-from repro.store.codec import decode_vp, encode_vp
+from repro.store.codec import decode_vp, encode_vp, iter_encoded_rows
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS vps (
@@ -99,6 +115,7 @@ _TRUSTED_BY_MINUTE = (
     " ORDER BY rowid"
 )
 _EVICT = "DELETE FROM vps WHERE minute < ?"
+_EVICT_UNTRUSTED = "DELETE FROM vps WHERE minute < ? AND trusted = 0"
 _ID_MINUTES = "SELECT vp_id, minute FROM vps ORDER BY rowid"
 _COUNT_BY_MINUTE = "SELECT COUNT(*) FROM vps WHERE minute = ?"
 
@@ -115,6 +132,13 @@ DEFAULT_DECODE_CACHE = 1024
 #: roughly a few hundred evicted VPs' worth of freed pages
 DEFAULT_COMPACT_BYTES = 1 << 20
 
+#: group-commit byte bound — a few thousand 4.5 kB VP blobs per commit
+DEFAULT_GROUP_COMMIT_BYTES = 8 << 20
+
+#: group-commit age bound in seconds; enforced at the next write (or an
+#: explicit ``flush_if_due``, which the shard worker loop calls when idle)
+DEFAULT_GROUP_COMMIT_LATENCY_S = 0.05
+
 
 class SQLiteStore(VPStore):
     """Durable minute- and bbox-indexed backend on the stdlib sqlite3."""
@@ -126,10 +150,33 @@ class SQLiteStore(VPStore):
         path: str = ":memory:",
         decode_cache: int = DEFAULT_DECODE_CACHE,
         cached_statements: int = 256,
+        group_commit_rows: int = 0,
+        group_commit_bytes: int = DEFAULT_GROUP_COMMIT_BYTES,
+        group_commit_latency_s: float = DEFAULT_GROUP_COMMIT_LATENCY_S,
+        commit_latency_s: float = 0.0,
     ) -> None:
+        if group_commit_rows < 0 or group_commit_bytes < 1 or group_commit_latency_s < 0:
+            raise ValidationError(
+                "group_commit_rows/latency must be >= 0 and group_commit_bytes >= 1"
+            )
+        if commit_latency_s < 0:
+            raise ValidationError("commit_latency_s must be >= 0")
         self.path = path
         self.decode_cache = decode_cache
         self.cached_statements = cached_statements
+        #: rows per group commit; 0 disables grouping (commit per call)
+        self.group_commit_rows = group_commit_rows
+        self.group_commit_bytes = group_commit_bytes
+        self.group_commit_latency_s = group_commit_latency_s
+        #: modeled per-commit durability cost, the same modeling idiom as
+        #: ``latency_s`` on the network fabrics: a production authority
+        #: pays a real fsync (``synchronous=FULL``, networked storage)
+        #: per write transaction that the dev container's page cache
+        #: hides.  The sleep holds this store's writer lock — commits on
+        #: one store serialize, commits on different stores (shards,
+        #: worker processes) overlap — making the cost group commit
+        #: amortizes visible on any machine.  0 disables.
+        self.commit_latency_s = commit_latency_s
         if path == ":memory:":
             # a *named* shared-cache database: per-thread connections all
             # attach to the same in-memory dataset; the keepalive
@@ -156,6 +203,15 @@ class SQLiteStore(VPStore):
         # selected rows before an eviction must not re-populate the
         # cache with VPs whose rows are now gone
         self._evict_epoch = 0
+        # group-commit pending buffer: vp_id -> encoded row, insertion
+        # -ordered and already deduplicated against the table.  All
+        # access runs under the writer lock; the bare truthiness check
+        # on the read paths is a benign race (rechecked under the lock).
+        self._pending: dict[bytes, tuple] = {}
+        self._pending_bytes = 0
+        self._pending_since: float | None = None
+        self._group_commits = 0
+        self._grouped_rows = 0
         self._closed = False
         try:
             self._keepalive = self._connect()
@@ -263,16 +319,115 @@ class SQLiteStore(VPStore):
                     self._cache.popitem(last=False)
         return vp
 
+    # -- group commit ------------------------------------------------------
+
+    def _charge_commit(self) -> None:
+        """Pay the modeled per-commit durability cost (no-op by default)."""
+        if self.commit_latency_s > 0:
+            time.sleep(self.commit_latency_s)
+
+    def _flush_locked(self) -> None:
+        """Commit the pending row group (writer lock held); no-op if empty.
+
+        One transaction — and one modeled durability charge — lands the
+        whole group, however many ``insert_many`` calls fed it.
+        """
+        if not self._pending:
+            return
+        conn = self._conn
+        with conn:
+            conn.executemany(_INSERT_OR_IGNORE, self._pending.values())
+        self._charge_commit()
+        self._grouped_rows += len(self._pending)
+        self._group_commits += 1
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._pending_since = None
+
+    def flush(self) -> None:
+        """Commit any pending group-commit rows immediately."""
+        if self._pending:
+            with self._write_lock:
+                self._flush_locked()
+
+    def flush_if_due(self) -> bool:
+        """Flush iff the pending group has exceeded the latency bound.
+
+        The idle hook for callers that own the write cadence (the shard
+        worker loop calls it whenever its command pipe goes quiet), so
+        the latency bound holds even when no further write arrives.
+        Returns whether a flush ran.
+        """
+        if not self._pending:
+            return False
+        with self._write_lock:
+            since = self._pending_since
+            if since is None or time.monotonic() - since < self.group_commit_latency_s:
+                return False
+            self._flush_locked()
+            return True
+
+    def _flush_for_read(self) -> None:
+        """Make pending writes visible before a query (read-your-writes)."""
+        if self._pending:
+            with self._write_lock:
+                self._flush_locked()
+
+    def _enqueue_rows(self, rows: list[tuple], strict: bool) -> int:
+        """Admit encoded rows into the pending group (writer lock held).
+
+        Deduplicates against the table (one batched probe), the pending
+        buffer and the rows themselves; ``strict`` turns a duplicate
+        into ``ValidationError`` instead of a skip — raised *before*
+        any row of the batch is admitted, matching the all-or-nothing
+        transaction of the non-grouped strict path.  Flushes when the
+        group crosses any bound (rows/bytes/age).
+        """
+        taken = self._probe_ids([row[0] for row in rows if row[0] not in self._pending])
+        if strict:
+            seen: set[bytes] = set()
+            for row in rows:
+                vp_id = bytes(row[0])
+                if vp_id in self._pending or vp_id in taken or vp_id in seen:
+                    raise ValidationError(DUPLICATE_ID_MESSAGE)
+                seen.add(vp_id)
+        inserted = 0
+        for row in rows:
+            vp_id = bytes(row[0])
+            if vp_id in self._pending or vp_id in taken:
+                continue
+            taken.add(vp_id)
+            self._pending[vp_id] = row
+            self._pending_bytes += len(row[7])
+            inserted += 1
+        if self._pending and self._pending_since is None:
+            self._pending_since = time.monotonic()
+        if (
+            len(self._pending) >= self.group_commit_rows
+            or self._pending_bytes >= self.group_commit_bytes
+            or (
+                self._pending_since is not None
+                and time.monotonic() - self._pending_since >= self.group_commit_latency_s
+            )
+        ):
+            self._flush_locked()
+        return inserted
+
     # -- writes ------------------------------------------------------------
 
     def insert(self, vp: ViewProfile) -> None:
         """Store one VP; raises ``ValidationError`` on a duplicate id."""
+        row = self._row_of(vp)
         with self._write_lock:
+            if self.group_commit_rows > 0:
+                self._enqueue_rows([row], strict=True)
+                return
             try:
                 with self._conn:
-                    self._conn.execute(_INSERT, self._row_of(vp))
+                    self._conn.execute(_INSERT, row)
             except sqlite3.IntegrityError as exc:
                 raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+            self._charge_commit()
 
     def insert_trusted(self, vp: ViewProfile) -> None:
         """Store a VP through the authority path, marking it trusted."""
@@ -283,23 +438,58 @@ class SQLiteStore(VPStore):
         """Atomically batch-ingest VPs, skipping duplicates.
 
         Rows are encoded outside the writer lock (the CPU-heavy part),
-        then applied in one ``INSERT OR IGNORE`` transaction.
+        then applied in one ``INSERT OR IGNORE`` transaction — or, with
+        group commit enabled, admitted to the pending group and
+        committed together with neighbouring batches.
         """
         rows = [self._row_of(vp) for vp in vps]
         with self._write_lock:
+            if self.group_commit_rows > 0:
+                return self._enqueue_rows(rows, strict=False)
             conn = self._conn
             before = conn.total_changes
             with conn:
                 conn.executemany(_INSERT_OR_IGNORE, rows)
+            self._charge_commit()
             return conn.total_changes - before
 
-    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
-        """Which of these identifiers are already stored (batched probes)."""
+    def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
+        """Batch-ingest from a codec batch buffer without decoding bodies.
+
+        The buffer's records (see
+        :func:`repro.store.codec.iter_encoded_rows`) are already in row
+        shape, so ingest is a pure pass-through: no ``ViewProfile``
+        materialization on this side of the boundary.  This is the hot
+        path of the process shard workers.  ``strict`` makes duplicates
+        raise ``ValidationError`` (single-insert semantics); otherwise
+        they are skipped and the newly stored count is returned.
+        """
+        rows = [
+            (bytes(vp_id), minute, trusted, x0, y0, x1, y1, bytes(body))
+            for vp_id, minute, trusted, x0, y0, x1, y1, body in iter_encoded_rows(batch)
+        ]
+        with self._write_lock:
+            if self.group_commit_rows > 0:
+                return self._enqueue_rows(rows, strict=strict)
+            conn = self._conn
+            before = conn.total_changes
+            try:
+                with conn:
+                    if strict:
+                        conn.executemany(_INSERT, rows)
+                    else:
+                        conn.executemany(_INSERT_OR_IGNORE, rows)
+            except sqlite3.IntegrityError as exc:
+                raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+            self._charge_commit()
+            return conn.total_changes - before
+
+    def _probe_ids(self, vp_ids: list[bytes]) -> set[bytes]:
+        """Which of these ids have table rows (pending buffer NOT consulted)."""
         found: set[bytes] = set()
-        ids = list(vp_ids)
         chunk = _IN_BUCKETS[-1]  # stay under SQLite's bound-parameter limit
-        for start in range(0, len(ids), chunk):
-            part = ids[start : start + chunk]
+        for start in range(0, len(vp_ids), chunk):
+            part = vp_ids[start : start + chunk]
             size = next(b for b in _IN_BUCKETS if b >= len(part))
             part = part + part[:1] * (size - len(part))  # pad: reuse statement
             marks = ",".join("?" * size)
@@ -310,8 +500,22 @@ class SQLiteStore(VPStore):
             found.update(bytes(vp_id) for (vp_id,) in rows)
         return found
 
+    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        """Which of these identifiers are already stored (batched probes).
+
+        Consults the pending group-commit buffer alongside the table, so
+        the batch-upload duplicate probe never forces a premature flush.
+        """
+        ids = list(vp_ids)
+        found = self._probe_ids(ids)
+        if self._pending:
+            with self._write_lock:
+                found.update(vp_id for vp_id in ids if bytes(vp_id) in self._pending)
+        return found
+
     def iter_id_minutes(self) -> list[tuple[bytes, int]]:
         """(vp_id, minute) pairs of every stored VP — no blob decode."""
+        self._flush_for_read()
         with self._read_guard:
             rows = self._conn.execute(_ID_MINUTES).fetchall()
         return [(bytes(vp_id), minute) for vp_id, minute in rows]
@@ -334,6 +538,7 @@ class SQLiteStore(VPStore):
                     self._cache.move_to_end(key)
                     self._cache_hits += 1
                     return vp
+        self._flush_for_read()
         epoch = self._cache_epoch()
         with self._read_guard:
             row = self._conn.execute(_GET, (vp_id,)).fetchone()
@@ -342,12 +547,21 @@ class SQLiteStore(VPStore):
         return self._vp_of(*row, epoch=epoch)
 
     def __len__(self) -> int:
-        """Total stored VPs."""
+        """Total stored VPs (pending group-commit rows included)."""
+        self._flush_for_read()
         with self._read_guard:
             return self._conn.execute(_COUNT).fetchone()[0]
 
     def __contains__(self, vp_id: bytes) -> bool:
-        """True when a VP with this identifier is stored."""
+        """True when a VP with this identifier is stored.
+
+        Answers from the pending group-commit buffer first, so the
+        duplicate-probe hot path never forces a flush.
+        """
+        if self._pending:
+            with self._write_lock:
+                if bytes(vp_id) in self._pending:
+                    return True
         with self._read_guard:
             return self._conn.execute(_EXISTS, (vp_id,)).fetchone() is not None
 
@@ -355,11 +569,13 @@ class SQLiteStore(VPStore):
 
     def minutes(self) -> list[int]:
         """Sorted minute indices with at least one stored VP."""
+        self._flush_for_read()
         with self._read_guard:
             return [m for (m,) in self._conn.execute(_MINUTES).fetchall()]
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute, in insertion order."""
+        self._flush_for_read()
         epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
@@ -367,6 +583,7 @@ class SQLiteStore(VPStore):
 
     def count_by_minute(self, minute: int) -> int:
         """How many VPs cover one minute (index-only count)."""
+        self._flush_for_read()
         with self._read_guard:
             return self._conn.execute(_COUNT_BY_MINUTE, (minute,)).fetchone()[0]
 
@@ -376,6 +593,7 @@ class SQLiteStore(VPStore):
         The bbox index prunes candidates; each surviving row is decoded
         (cache-assisted) and exact-checked per claimed position.
         """
+        self._flush_for_read()
         epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(
@@ -387,6 +605,7 @@ class SQLiteStore(VPStore):
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
         """Trusted VPs of one minute, in insertion order."""
+        self._flush_for_read()
         epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(_TRUSTED_BY_MINUTE, (minute,)).fetchall()
@@ -394,7 +613,7 @@ class SQLiteStore(VPStore):
 
     # -- lifecycle ---------------------------------------------------------
 
-    def evict_before(self, minute: int) -> int:
+    def evict_before(self, minute: int, keep_trusted: bool = False) -> int:
         """Delete every VP below the cutoff via the minute index.
 
         Runs inside the single-writer lock as one transaction, counted
@@ -405,17 +624,23 @@ class SQLiteStore(VPStore):
         pass decline to re-cache them: after eviction a cached id is no
         longer proof of existence, so the cache must never outlive the
         rows.  Freed pages go on SQLite's freelist; ``compact()``
-        returns them to the filesystem.
+        returns them to the filesystem.  ``keep_trusted`` pins trusted
+        rows (investigation seeds) past the cutoff — the retention
+        contract of ``RetentionPolicy(pin_trusted=True)``.
         """
         with self._write_lock:
+            self._flush_locked()
             conn = self._conn
             with conn:
-                evicted = conn.execute(_EVICT, (minute,)).rowcount
+                statement = _EVICT_UNTRUSTED if keep_trusted else _EVICT
+                evicted = conn.execute(statement, (minute,)).rowcount
             if evicted and self.decode_cache > 0:
                 with self._cache_lock:
                     self._evict_epoch += 1
                     stale = [
-                        key for key, vp in self._cache.items() if vp.minute < minute
+                        key
+                        for key, vp in self._cache.items()
+                        if vp.minute < minute and not (keep_trusted and vp.trusted)
                     ]
                     for key in stale:
                         del self._cache[key]
@@ -432,6 +657,7 @@ class SQLiteStore(VPStore):
         truncate the WAL so the on-disk footprint matches the data.
         """
         with self._write_lock:
+            self._flush_locked()
             conn = self._conn
             page_size = conn.execute("PRAGMA page_size").fetchone()[0]
             freelist = conn.execute("PRAGMA freelist_count").fetchone()[0]
@@ -477,11 +703,33 @@ class SQLiteStore(VPStore):
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> StoreStats:
-        """Occupancy snapshot (detail: path, connections, decode cache)."""
+        """Occupancy snapshot (detail: path, connections, caches, groups).
+
+        Deliberately does NOT flush the pending group — a monitoring
+        loop polling stats must not cap every group at the poll
+        interval.  Pending rows are counted in from their snapshot
+        instead (they are already deduplicated against the table, so
+        the sums are exact).
+        """
+        with self._write_lock:
+            pending_rows = list(self._pending.values())
+            group = {
+                "rows": self.group_commit_rows,
+                "commits": self._group_commits,
+                "grouped_rows": self._grouped_rows,
+                "pending": len(pending_rows),
+            }
         with self._read_guard:
             total = self._conn.execute(_COUNT).fetchone()[0]
             trusted = self._conn.execute(_COUNT_TRUSTED).fetchone()[0]
-            n_minutes = self._conn.execute(_COUNT_MINUTES).fetchone()[0]
+            if pending_rows:
+                table_minutes = {m for (m,) in self._conn.execute(_MINUTES).fetchall()}
+            else:
+                n_minutes = self._conn.execute(_COUNT_MINUTES).fetchone()[0]
+        if pending_rows:
+            total += len(pending_rows)
+            trusted += sum(1 for row in pending_rows if row[2])
+            n_minutes = len(table_minutes | {row[1] for row in pending_rows})
         with self._registry_lock:
             n_conns = len(self._registry)
         with self._cache_lock:
@@ -500,17 +748,21 @@ class SQLiteStore(VPStore):
                 "path": self.path,
                 "connections": n_conns,
                 "decode_cache": cache,
+                "group_commit": group,
             },
         )
 
     def close(self) -> None:
-        """Close every connection; the store is unusable afterwards.
+        """Flush pending writes and close every connection.
 
         Callers must quiesce traffic first (e.g. shut the fronting
         network down) — close is not safe concurrently with queries.
+        The store is unusable afterwards.
         """
         if self._closed:
             return
+        with self._write_lock:
+            self._flush_locked()
         self._closed = True
         with self._registry_lock:
             conns, self._registry = self._registry, []

@@ -1,0 +1,507 @@
+"""Process-parallel shard workers: scale hot-shard ingest past the GIL.
+
+Thread-level concurrency stops paying on a hot shard: batch encoding,
+row building and the sqlite3 binding's per-row work all hold the GIL, so
+threaded ingest into one SQLite shard measured only ~1.1x serial.  This
+module moves each shard into its **own worker OS process** — its own
+GIL, its own page cache, its own commit stream:
+
+* :class:`ProcessShardedStore` — a :class:`~repro.store.sharded.ShardedStore`
+  whose shards are :class:`WorkerShard` proxies.  All the routing-tier
+  machinery (composite ``(minute, cell)`` keys, the fleet-wide id
+  directory, the per-minute order merge, snapshotted eviction) is
+  inherited unchanged; only the shard boundary moved from an object
+  call to a pipe.
+* :class:`WorkerShard` — the parent-side proxy implementing the full
+  ``VPStore`` contract over one ``multiprocessing`` pipe.  Requests are
+  strictly request/response under a per-proxy lock; the fan-out pool of
+  the sharded wrapper provides cross-worker parallelism.
+* :func:`_worker_main` — the per-worker command loop: builds the real
+  backend (memory or SQLite) from a small spec dict, then serves ops
+  until ``close`` or the pipe drops.  Idle workers opportunistically
+  flush their group-commit buffer, so the latency bound holds without
+  a timer thread.
+
+The coordination plane stays thin (route, frame, forward — the KISS
+principle); the heavy lifting (decode, row building, ``executemany`` +
+commit) runs in parallel simple workers.  IPC framing is the columnar
+batch codec (:func:`~repro.store.codec.encode_vp_batch`): one
+length-prefixed buffer per batch instead of N pickled objects, and a
+SQLite worker ingests the records *without ever decoding a body*
+(:meth:`~repro.store.sqlite.SQLiteStore.insert_encoded`).
+
+Failure model: a worker that dies or stops answering within
+``op_timeout_s`` is abandoned — the proxy raises ``StorageError``, the
+process is terminated, and ``close()`` always returns (a hung worker
+cannot wedge a test run or CI).  Workers default to the ``fork`` start
+method on Linux (cheap, no re-import) and ``spawn`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import threading
+from multiprocessing.connection import Connection
+from typing import Iterable, Sequence
+
+import repro.errors as errors
+from repro.core.viewprofile import ViewProfile
+from repro.errors import ReproError, StorageError
+from repro.geo.geometry import Rect
+from repro.store.base import StoreStats, VPStore
+from repro.store.codec import decode_vp_batch, encode_vp_batch
+from repro.store.grid import DEFAULT_CELL_M
+from repro.store.memory import MemoryStore
+from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
+from repro.store.sqlite import (
+    DEFAULT_DECODE_CACHE,
+    DEFAULT_GROUP_COMMIT_BYTES,
+    DEFAULT_GROUP_COMMIT_LATENCY_S,
+    SQLiteStore,
+)
+
+#: how long the parent waits for one worker reply before declaring the
+#: worker hung and abandoning it (construction handshake included)
+DEFAULT_OP_TIMEOUT_S = 60.0
+
+#: how long ``close()`` waits for a worker to acknowledge and exit —
+#: deliberately short so a wedged worker never blocks shutdown (or CI)
+CLOSE_TIMEOUT_S = 10.0
+
+#: group-commit row bound for SQLite workers (the configuration the
+#: ingest benchmarks measure); 0 disables grouping
+DEFAULT_WORKER_GROUP_ROWS = 512
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    """``fork`` on Linux (cheap start, no re-import), ``spawn`` elsewhere."""
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _build_worker_store(spec: dict) -> VPStore:
+    """Instantiate the worker's real backend from its spec dict."""
+    kind = spec.get("kind")
+    if kind == "memory":
+        return MemoryStore(cell_m=spec.get("cell_m", DEFAULT_CELL_M))
+    if kind == "sqlite":
+        return SQLiteStore(
+            spec.get("path", ":memory:"),
+            decode_cache=spec.get("decode_cache", DEFAULT_DECODE_CACHE),
+            group_commit_rows=spec.get("group_commit_rows", 0),
+            group_commit_bytes=spec.get("group_commit_bytes", DEFAULT_GROUP_COMMIT_BYTES),
+            group_commit_latency_s=spec.get(
+                "group_commit_latency_s", DEFAULT_GROUP_COMMIT_LATENCY_S
+            ),
+            commit_latency_s=spec.get("commit_latency_s", 0.0),
+        )
+    raise StorageError(f"unknown worker backend kind {spec.get('kind')!r}")
+
+
+def _dispatch(store: VPStore, request: tuple) -> object:
+    """Execute one command against the worker's backend."""
+    op = request[0]
+    if op == "batch":
+        if isinstance(store, SQLiteStore):
+            return store.insert_encoded(request[1])
+        return store.insert_many(decode_vp_batch(request[1]))
+    if op == "insert":
+        if isinstance(store, SQLiteStore):
+            store.insert_encoded(request[1], strict=True)
+        else:
+            store.insert(decode_vp_batch(request[1])[0])
+        return None
+    if op == "get":
+        vp = store.get(request[1])
+        return None if vp is None else encode_vp_batch([vp])
+    if op == "contains":
+        return request[1] in store
+    if op == "len":
+        return len(store)
+    if op == "existing":
+        return store.existing_ids(request[1])
+    if op == "minutes":
+        return store.minutes()
+    if op == "count":
+        return store.count_by_minute(request[1])
+    if op == "by_minute":
+        return encode_vp_batch(store.by_minute(request[1]))
+    if op == "trusted":
+        return encode_vp_batch(store.trusted_by_minute(request[1]))
+    if op == "in_area":
+        return encode_vp_batch(store.by_minute_in_area(request[1], Rect(*request[2])))
+    if op == "id_minutes":
+        return list(store.iter_id_minutes())
+    if op == "evict":
+        return store.evict_before(request[1], keep_trusted=request[2])
+    if op == "compact":
+        return store.compact()
+    if op == "stats":
+        return store.stats()
+    if op == "ping":
+        return "pong"
+    raise StorageError(f"unknown worker op {op!r}")
+
+
+def _worker_main(conn: Connection, spec: dict) -> None:
+    """One worker's whole life: build the backend, serve ops, shut down.
+
+    Runs in the worker process.  The first message out is the readiness
+    handshake (an error here — bad path, bad spec — reaches the parent
+    as a construction failure).  When the command pipe goes quiet the
+    worker flushes an overdue group-commit buffer, so the grouping
+    latency bound holds even with no further traffic.
+    """
+    try:
+        store = _build_worker_store(spec)
+    except Exception as exc:  # surfaced as the construction handshake
+        try:
+            conn.send(("err", type(exc).__name__, str(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", "ready"))
+    idle_poll = None
+    if spec.get("group_commit_rows"):
+        idle_poll = spec.get("group_commit_latency_s", DEFAULT_GROUP_COMMIT_LATENCY_S)
+    while True:
+        try:
+            if idle_poll is not None and not conn.poll(idle_poll):
+                store.flush_if_due()
+                continue
+            request = conn.recv()
+        except (EOFError, OSError):
+            break  # parent vanished: fall through to the store close
+        try:
+            if request[0] == "close":
+                store.close()  # flushes; acked only once durable
+                conn.send(("ok", None))
+                break
+            conn.send(("ok", _dispatch(store, request)))
+        except Exception as exc:
+            try:
+                conn.send(("err", type(exc).__name__, str(exc)))
+            except (EOFError, OSError):
+                break
+    store.close()  # idempotent on the double-close paths
+    conn.close()
+
+
+def _exception_for(name: str, text: str) -> Exception:
+    """Map a worker-side error back onto the matching repro exception."""
+    cls = getattr(errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(text)
+    return StorageError(f"shard worker failed: {name}: {text}")
+
+
+class WorkerShard(VPStore):
+    """Parent-side ``VPStore`` proxy for one worker process.
+
+    Every call is one request/response exchange on the worker's pipe,
+    serialized by a per-proxy lock (concurrency comes from fanning out
+    *across* proxies, exactly like a client fleet across storage
+    nodes).  VP payloads travel as columnar batch buffers; everything
+    else as small picklable primitives.  A worker that breaks protocol,
+    dies, or exceeds ``op_timeout_s`` is abandoned: the process is
+    terminated and every subsequent call raises ``StorageError``.
+    """
+
+    kind = "worker"
+
+    def __init__(
+        self,
+        spec: dict,
+        ctx: multiprocessing.context.BaseContext | None = None,
+        op_timeout_s: float = DEFAULT_OP_TIMEOUT_S,
+    ) -> None:
+        self.spec = dict(spec)
+        self.op_timeout_s = op_timeout_s
+        ctx = ctx or _default_context()
+        self._lock = threading.Lock()
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main, args=(child_conn, self.spec), daemon=True
+        )
+        self._proc.start()
+        child_conn.close()
+        self._broken = False
+        self._closed = False
+        try:
+            self._receive()  # readiness handshake (store built worker-side)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _abandon(self) -> None:
+        """Give up on the worker: kill the process, poison the proxy."""
+        self._broken = True
+        if self._proc.is_alive():
+            self._proc.terminate()
+
+    def _receive(self) -> object:
+        """One reply off the pipe; maps worker-side errors, bounds waits."""
+        if not self._conn.poll(self.op_timeout_s):
+            self._abandon()
+            raise StorageError(
+                f"shard worker (pid {self._proc.pid}) gave no reply within "
+                f"{self.op_timeout_s:.0f}s; worker abandoned"
+            )
+        reply = self._conn.recv()
+        if reply[0] == "err":
+            raise _exception_for(reply[1], reply[2])
+        return reply[1]
+
+    def _request(self, *message: object) -> object:
+        """Send one command and return its result (or raise its error)."""
+        with self._lock:
+            if self._closed or self._broken:
+                raise StorageError("shard worker is closed or abandoned")
+            try:
+                self._conn.send(message)
+                return self._receive()
+            except (EOFError, OSError) as exc:
+                self._abandon()
+                raise StorageError(f"shard worker died mid-request: {exc}") from exc
+
+    @property
+    def worker_pid(self) -> int | None:
+        """The worker process id (for health checks and dashboards)."""
+        return self._proc.pid
+
+    def alive(self) -> bool:
+        """True while the worker process runs and the proxy is usable."""
+        return not (self._closed or self._broken) and self._proc.is_alive()
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, vp: ViewProfile) -> None:
+        """Store one VP; raises ``ValidationError`` on a duplicate id."""
+        self._request("insert", encode_vp_batch([vp]))
+
+    def insert_many(self, vps: Iterable[ViewProfile]) -> int:
+        """Batch-ingest VPs as ONE framed buffer over the pipe."""
+        vps = list(vps)
+        if not vps:
+            return 0
+        return self._request("batch", encode_vp_batch(vps))
+
+    def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
+        """Which of these identifiers the worker already stores."""
+        return self._request("existing", list(vp_ids))
+
+    def iter_id_minutes(self) -> list[tuple[bytes, int]]:
+        """(vp_id, minute) pairs of every stored VP (one round-trip)."""
+        return self._request("id_minutes")
+
+    # -- point reads -------------------------------------------------------
+
+    def get(self, vp_id: bytes) -> ViewProfile | None:
+        """Fetch one VP by identifier."""
+        buf = self._request("get", bytes(vp_id))
+        return None if buf is None else decode_vp_batch(buf)[0]
+
+    def __len__(self) -> int:
+        """Total stored VPs."""
+        return self._request("len")
+
+    def __contains__(self, vp_id: bytes) -> bool:
+        """True when the worker stores a VP with this identifier."""
+        return self._request("contains", bytes(vp_id))
+
+    # -- minute/area queries -----------------------------------------------
+
+    def minutes(self) -> list[int]:
+        """Sorted minute indices with at least one stored VP."""
+        return self._request("minutes")
+
+    def by_minute(self, minute: int) -> list[ViewProfile]:
+        """All VPs covering one minute, in insertion order."""
+        return decode_vp_batch(self._request("by_minute", minute))
+
+    def count_by_minute(self, minute: int) -> int:
+        """How many VPs cover one minute (metadata-only on the worker)."""
+        return self._request("count", minute)
+
+    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
+        """VPs of a minute claiming any location inside ``area``.
+
+        The spatial index query AND the body decodes of the candidate
+        check run on the worker's GIL; only matches travel back.
+        """
+        return decode_vp_batch(
+            self._request(
+                "in_area", minute, (area.x_min, area.y_min, area.x_max, area.y_max)
+            )
+        )
+
+    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
+        """Trusted VPs of one minute, in insertion order."""
+        return decode_vp_batch(self._request("trusted", minute))
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def evict_before(self, minute: int, keep_trusted: bool = False) -> int:
+        """Remove the worker's VPs below the cutoff (trusted pinnable)."""
+        return self._request("evict", minute, keep_trusted)
+
+    def compact(self) -> dict:
+        """Run backend compaction inside the worker; returns its gauges."""
+        return self._request("compact")
+
+    def stats(self) -> StoreStats:
+        """The backend's own snapshot, annotated with the worker pid."""
+        inner: StoreStats = self._request("stats")
+        detail = dict(inner.detail)
+        detail["worker_pid"] = self._proc.pid
+        return StoreStats(
+            backend=inner.backend,
+            vps=inner.vps,
+            trusted=inner.trusted,
+            minutes=inner.minutes,
+            detail=detail,
+        )
+
+    def close(self) -> None:
+        """Stop the worker, waiting briefly; escalate if it hangs.
+
+        The ack is sent only after the worker closed (and flushed) its
+        backend, so a clean close is durable.  A worker that fails to
+        ack within ``CLOSE_TIMEOUT_S`` is terminated, then killed —
+        shutdown always returns.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not self._broken:
+                try:
+                    self._conn.send(("close",))
+                    if self._conn.poll(CLOSE_TIMEOUT_S):
+                        self._conn.recv()
+                except (EOFError, OSError):
+                    pass
+            self._conn.close()
+        self._proc.join(timeout=CLOSE_TIMEOUT_S)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=CLOSE_TIMEOUT_S)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join()
+
+
+class ProcessShardedStore(ShardedStore):
+    """A sharded fleet whose every shard runs in its own OS process.
+
+    Same contract, same routing semantics as
+    :class:`~repro.store.sharded.ShardedStore` — composite
+    ``(minute, cell)`` keys, fleet-wide id directory, order-preserving
+    minute merges, snapshot-consistent eviction — but batch
+    encode/decode and SQLite commits execute on the workers' GILs, so
+    hot-shard ingest scales with worker count instead of ~1.1x.
+    Construction starts the worker processes (the supervisor role);
+    ``close()`` stops them, escalating to ``terminate``/``kill`` if a
+    worker hangs.
+    """
+
+    kind = "procs"
+
+    def __init__(
+        self,
+        specs: Sequence[dict],
+        fanout_workers: int | None = None,
+        shard_cells: int = 1,
+        route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+        directory: str = "",
+        mp_context: str = "",
+        op_timeout_s: float = DEFAULT_OP_TIMEOUT_S,
+    ) -> None:
+        """Start one worker per spec dict and wrap them as a fleet.
+
+        ``specs`` entries are ``{"kind": "memory"|"sqlite", ...}`` as
+        accepted by the worker loop; ``mp_context`` forces a start
+        method (default: ``fork`` on Linux, ``spawn`` elsewhere);
+        ``op_timeout_s`` bounds every worker round-trip.  Remaining
+        parameters are the sharded wrapper's.
+        """
+        ctx = (
+            multiprocessing.get_context(mp_context)
+            if mp_context
+            else _default_context()
+        )
+        workers: list[WorkerShard] = []
+        try:
+            for spec in specs:
+                workers.append(WorkerShard(spec, ctx, op_timeout_s=op_timeout_s))
+            super().__init__(
+                workers,
+                fanout_workers=fanout_workers,
+                shard_cells=shard_cells,
+                route_cell_m=route_cell_m,
+                directory=directory,
+            )
+        except BaseException:
+            for worker in workers:
+                worker.close()
+            raise
+
+    @classmethod
+    def memory(
+        cls,
+        n_workers: int = 4,
+        cell_m: float = DEFAULT_CELL_M,
+        shard_cells: int = 1,
+        route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+        **kwargs: object,
+    ) -> "ProcessShardedStore":
+        """A fleet of in-memory worker processes (volatile)."""
+        specs = [{"kind": "memory", "cell_m": cell_m} for _ in range(n_workers)]
+        return cls(specs, shard_cells=shard_cells, route_cell_m=route_cell_m, **kwargs)
+
+    @classmethod
+    def sqlite(
+        cls,
+        paths: Sequence[str],
+        shard_cells: int = 1,
+        route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+        group_commit_rows: int = DEFAULT_WORKER_GROUP_ROWS,
+        group_commit_latency_s: float = DEFAULT_GROUP_COMMIT_LATENCY_S,
+        commit_latency_s: float = 0.0,
+        directory: str = "",
+        **kwargs: object,
+    ) -> "ProcessShardedStore":
+        """A durable fleet: one SQLite worker process per database file.
+
+        Workers group-commit by default (``group_commit_rows`` rows per
+        transaction, ``group_commit_latency_s`` age bound) — the
+        configuration the ingest benchmarks measure.
+        ``commit_latency_s`` models each worker's per-commit durability
+        cost; the sleeps run in separate processes, so they overlap
+        across the fleet exactly as real fsyncs on per-node storage.
+        """
+        specs = [
+            {
+                "kind": "sqlite",
+                "path": path,
+                "group_commit_rows": group_commit_rows,
+                "group_commit_latency_s": group_commit_latency_s,
+                "commit_latency_s": commit_latency_s,
+            }
+            for path in paths
+        ]
+        return cls(
+            specs,
+            shard_cells=shard_cells,
+            route_cell_m=route_cell_m,
+            directory=directory,
+            **kwargs,
+        )
+
+    def worker_pids(self) -> list[int | None]:
+        """The worker process ids, in shard order."""
+        return [shard.worker_pid for shard in self.shards]  # type: ignore[attr-defined]

@@ -215,6 +215,41 @@ class TestConcurrentServerRetention:
             assert len(system.database) == 9
             system.close()
 
+    def test_process_store_behind_concurrent_front_end(self):
+        # the worker-process fleet wired end to end: concurrent batch
+        # uploads through the server advance the watermark, eviction
+        # fans out across worker processes, and the fleet id directory
+        # (seeded over the pipe via iter_id_minutes) keeps rejecting
+        # duplicates after the passes
+        from repro.store import ProcessShardedStore
+
+        store = ProcessShardedStore.memory(n_workers=2, shard_cells=2)
+        with ThreadedNetwork(workers=4) as net:
+            system = ViewMapSystem(
+                key_bits=512, seed=1, store=store,
+                retention=RetentionPolicy(window_minutes=2),
+            )
+            server = ConcurrentViewMapServer(system=system, network=net)
+            for minute in range(5):
+                reply = net.send(
+                    "v", server.address,
+                    batch_payload(
+                        [make_wire_vp(seed=10 * minute + i + 1, minute=minute,
+                                      x0=11.0 * i) for i in range(3)],
+                        session=f"s{minute}",
+                    ),
+                )
+                assert decode_message(reply)["kind"] == "batch_ack"
+            assert system.retention_watermark == 4
+            assert system.database.minutes() == [3, 4]
+            # a duplicate of a retained VP is still rejected per-VP
+            ack = decode_message(net.send(
+                "v", server.address,
+                batch_payload([make_wire_vp(seed=41, minute=4, x0=0.0)]),
+            ))
+            assert ack["accepted"] == [False]
+            system.close()
+
     def test_retention_pass_runs_once_per_new_minute(self):
         with ThreadedNetwork(workers=4) as net:
             system = ViewMapSystem(

@@ -2,9 +2,10 @@
 
 Randomized insert/query sequences (including duplicate-id rejection and
 trusted-path inserts) are replayed against ``MemoryStore``,
-``SQLiteStore`` and ``ShardedStore`` plus a deliberately naive reference
-model reproducing the seed database's flat linear-scan semantics; all
-four must agree on every observable.
+``SQLiteStore``, ``ShardedStore`` and ``ProcessShardedStore`` (real
+worker OS processes) plus a deliberately naive reference model
+reproducing the seed database's flat linear-scan semantics; all five
+must agree on every observable.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ValidationError
 from repro.geo.geometry import Point, Rect
-from repro.store import MemoryStore, ShardedStore, SQLiteStore
+from repro.store import MemoryStore, ProcessShardedStore, ShardedStore, SQLiteStore
 from tests.store.conftest import fingerprints, make_vp
 
 
@@ -100,7 +101,12 @@ areas = st.tuples(
 
 
 def fresh_backends():
-    return [MemoryStore(), SQLiteStore(), ShardedStore.memory(n_shards=3)]
+    return [
+        MemoryStore(),
+        SQLiteStore(),
+        ShardedStore.memory(n_shards=3),
+        ProcessShardedStore.memory(n_workers=2, shard_cells=2),
+    ]
 
 
 @given(ops=ops, area=areas, batch=ops)
@@ -176,11 +182,11 @@ def test_backends_agree_with_reference(ops, area, batch):
         backend.close()
 
 
-@pytest.mark.parametrize("kind", ["memory", "sqlite", "sharded"])
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "sharded", "procs"])
 def test_make_store_round_trip(kind):
     from repro.store import make_store
 
-    store = make_store(kind)
+    store = make_store(kind, ingest_workers=2)
     vp = make_vp(seed=42)
     store.insert(vp)
     assert fingerprints(store.by_minute(0)) == fingerprints([vp])

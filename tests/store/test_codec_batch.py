@@ -1,0 +1,118 @@
+"""Property tests for the columnar VP batch codec.
+
+The batch buffer is the IPC framing of the process shard workers AND
+the feed of the SQLite group-commit path, so its guarantees are pinned
+hard: exact round-trip for any VP mix (digest counts, minutes,
+positions, trusted flags), record metadata identical to what the SQLite
+backend would derive from the decoded VP, and loud failures on
+truncated or version-skewed buffers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.store.base import vp_bounding_box
+from repro.store.codec import (
+    decode_vp_batch,
+    encode_vp,
+    encode_vp_batch,
+    iter_encoded_rows,
+)
+from tests.store.conftest import fingerprints, make_vp
+
+#: one VP description: (seed-ish, digest count, minute, x cell, y cell, trusted)
+vp_specs = st.lists(
+    st.tuples(
+        st.integers(0, 30),
+        st.integers(1, 5),
+        st.integers(0, 4),
+        st.integers(-3, 5),
+        st.integers(-3, 5),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def build_corpus(specs):
+    vps = []
+    for index, (seed, n, minute, xc, yc, trusted) in enumerate(specs):
+        vp = make_vp(
+            seed=1 + index + 40 * seed,
+            n=n,
+            minute=minute,
+            x0=250.0 * xc,
+            y0=250.0 * yc,
+        )
+        vp.trusted = trusted
+        vps.append(vp)
+    return vps
+
+
+@given(specs=vp_specs)
+@settings(max_examples=50, deadline=None)
+def test_batch_round_trip_exact(specs):
+    vps = build_corpus(specs)
+    decoded = decode_vp_batch(encode_vp_batch(vps))
+    assert fingerprints(decoded) == fingerprints(vps)
+
+
+@given(specs=vp_specs)
+@settings(max_examples=25, deadline=None)
+def test_encoded_rows_match_storage_metadata(specs):
+    # every record must carry exactly the columns the SQLite backend
+    # derives from the decoded VP — the group-commit path trusts them
+    vps = build_corpus(specs)
+    rows = list(iter_encoded_rows(encode_vp_batch(vps)))
+    assert len(rows) == len(vps)
+    for vp, (vp_id, minute, trusted, x_min, y_min, x_max, y_max, body) in zip(vps, rows):
+        assert bytes(vp_id) == vp.vp_id
+        assert minute == vp.minute
+        assert bool(trusted) == vp.trusted
+        assert (x_min, y_min, x_max, y_max) == vp_bounding_box(vp)
+        assert bytes(body) == encode_vp(vp)
+
+
+def test_empty_batch_round_trips():
+    assert decode_vp_batch(encode_vp_batch([])) == []
+
+
+def test_blob_memoized_per_vp():
+    vp = make_vp(seed=1)
+    assert encode_vp(vp) is encode_vp(vp)
+
+
+def test_batch_rejects_bad_version():
+    buf = bytearray(encode_vp_batch([make_vp(seed=1)]))
+    buf[0] = 99
+    with pytest.raises(WireFormatError):
+        decode_vp_batch(bytes(buf))
+
+
+def test_batch_rejects_truncation():
+    buf = encode_vp_batch([make_vp(seed=1), make_vp(seed=2)])
+    for cut in (3, len(buf) // 2, len(buf) - 1):
+        with pytest.raises(WireFormatError):
+            decode_vp_batch(buf[:cut])
+
+
+def test_batch_rejects_trailing_bytes():
+    buf = encode_vp_batch([make_vp(seed=1)])
+    with pytest.raises(WireFormatError):
+        decode_vp_batch(buf + b"\x00")
+
+
+def test_batch_rejects_id_body_mismatch():
+    # flip a byte inside the record's id field: the body's own id wins
+    # and the mismatch must surface, not silently mis-key the VP
+    vp = make_vp(seed=1)
+    buf = bytearray(encode_vp_batch([vp]))
+    id_offset = 5 + 1 + 4 + 32  # header + flags + minute + bbox
+    buf[id_offset] ^= 0xFF
+    with pytest.raises(WireFormatError):
+        decode_vp_batch(bytes(buf))

@@ -15,7 +15,7 @@ import pytest
 
 from repro.errors import StorageError
 from repro.geo.geometry import Rect
-from repro.store import MemoryStore, ShardedStore, SQLiteStore
+from repro.store import MemoryStore, ProcessShardedStore, ShardedStore, SQLiteStore
 from tests.store.conftest import fingerprint, make_vp
 
 N_THREADS = 6
@@ -37,10 +37,25 @@ def make_backend(kind: str, tmp_path):
         return ShardedStore.sqlite(
             [str(tmp_path / f"shard-{i}.sqlite") for i in range(3)]
         )
+    if kind == "procs":
+        return ProcessShardedStore.memory(n_workers=2, shard_cells=2)
+    if kind == "procs-sqlite":
+        return ProcessShardedStore.sqlite(
+            [str(tmp_path / f"worker-{i}.sqlite") for i in range(2)],
+            shard_cells=2,
+        )
     raise AssertionError(kind)
 
 
-BACKENDS = ["memory", "sqlite", "sqlite-file", "sharded", "sharded-sqlite"]
+BACKENDS = [
+    "memory",
+    "sqlite",
+    "sqlite-file",
+    "sharded",
+    "sharded-sqlite",
+    "procs",
+    "procs-sqlite",
+]
 
 
 def corpus_for(thread: int) -> list:

@@ -17,6 +17,7 @@ from repro.errors import ValidationError
 from repro.geo.geometry import Rect
 from repro.store import (
     MemoryStore,
+    ProcessShardedStore,
     RetentionPolicy,
     ShardedStore,
     SQLiteStore,
@@ -166,6 +167,75 @@ class TestEvictionSemantics:
         store.close()
 
 
+class TestTrustedPinning:
+    """``pin_trusted``: a retention pass never drops investigation seeds."""
+
+    @pytest.mark.parametrize(
+        "kind", ["memory", "sqlite", "sharded", "sharded-cells", "procs"]
+    )
+    def test_pinned_trusted_survive_eviction(self, kind):
+        store = {
+            "memory": MemoryStore,
+            "sqlite": SQLiteStore,
+            "sharded": lambda: ShardedStore.memory(n_shards=3),
+            "sharded-cells": lambda: ShardedStore.memory(n_shards=4, shard_cells=4),
+            "procs": lambda: ProcessShardedStore.memory(n_workers=2, shard_cells=2),
+        }[kind]()
+        try:
+            anon = [
+                make_vp(seed=10 * m + i + 1, minute=m, x0=500.0 * i)
+                for m in range(3)
+                for i in range(3)
+            ]
+            seeds = [make_vp(seed=100 + m, minute=m, x0=40.0) for m in range(3)]
+            store.insert_many(anon)
+            for vp in seeds:
+                store.insert_trusted(vp)
+
+            assert store.evict_before(2, keep_trusted=True) == 6
+            # seeds of the evicted minutes survive, in order, queryable
+            for m in range(2):
+                assert fingerprints(store.by_minute(m)) == fingerprints([seeds[m]])
+                assert fingerprints(store.trusted_by_minute(m)) == fingerprints(
+                    [seeds[m]]
+                )
+                assert store.get(seeds[m].vp_id) is not None
+                assert seeds[m].vp_id in store
+            # minute 2 untouched: full population, original order
+            assert fingerprints(store.by_minute(2)) == fingerprints(
+                anon[6:9] + [seeds[2]]
+            )
+            # pinned ids stay claimed; evicted anonymous ids free up
+            with pytest.raises(ValidationError):
+                store.insert(make_vp(seed=100, minute=0, x0=40.0))
+            store.insert(make_vp(seed=1, minute=0, x0=0.0))
+            # a later unpinned pass reclaims everything below the cutoff:
+            # 2 at minute 0 (seed + re-add), 1 at minute 1, 4 at minute 2
+            assert store.evict_before(3) == 7
+            assert len(store) == 0
+        finally:
+            store.close()
+
+    def test_apply_retention_honors_pin_trusted(self):
+        store = MemoryStore()
+        store.insert(make_vp(seed=1, minute=0))
+        store.insert_trusted(make_vp(seed=2, minute=0, x0=40.0))
+        policy = RetentionPolicy(window_minutes=1, pin_trusted=True)
+        report = apply_retention(store, policy, newest_minute=9)
+        assert report.evicted == 1
+        assert len(store) == 1 and store.trusted_by_minute(0)
+        store.close()
+
+    def test_unpinned_policy_still_evicts_trusted(self):
+        store = MemoryStore()
+        store.insert_trusted(make_vp(seed=2, minute=0, x0=40.0))
+        report = apply_retention(
+            store, RetentionPolicy(window_minutes=1), newest_minute=9
+        )
+        assert report.evicted == 1 and len(store) == 0
+        store.close()
+
+
 class TestCompositeRouting:
     def test_hot_minute_spreads_across_shards(self):
         store = ShardedStore.memory(n_shards=8, shard_cells=8, route_cell_m=500.0)
@@ -255,6 +325,7 @@ def lifecycle_backends():
         SQLiteStore(),
         ShardedStore.memory(n_shards=3),
         ShardedStore.memory(n_shards=4, shard_cells=4, route_cell_m=300.0),
+        ProcessShardedStore.memory(n_workers=2, shard_cells=2, route_cell_m=300.0),
     ]
 
 

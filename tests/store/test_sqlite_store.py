@@ -110,3 +110,72 @@ class TestPersistence:
         assert stats.backend == "sqlite"
         assert stats.vps == 1
         assert stats.detail["path"] == ":memory:"
+
+
+class TestGroupCommit:
+    def test_writes_group_until_threshold(self):
+        store = SQLiteStore(group_commit_rows=4, group_commit_latency_s=5.0)
+        assert store.insert_many([make_vp(seed=1), make_vp(seed=2)]) == 2
+        assert len(store._pending) == 2  # grouped, not yet committed
+        assert store.insert_many([make_vp(seed=3), make_vp(seed=4)]) == 2
+        assert not store._pending  # threshold crossed: one commit, 4 rows
+        detail = store.stats().detail["group_commit"]
+        assert detail["commits"] == 1 and detail["grouped_rows"] == 4
+        store.close()
+
+    def test_duplicate_checks_see_pending_rows_without_flush(self):
+        store = SQLiteStore(group_commit_rows=100, group_commit_latency_s=5.0)
+        vp = make_vp(seed=1)
+        store.insert(vp)
+        assert store._pending
+        # the batch-upload probe path: no flush, duplicates still caught
+        assert store.existing_ids([vp.vp_id, b"\x00" * 16]) == {vp.vp_id}
+        assert vp.vp_id in store
+        assert store._pending  # probes did not force a commit
+        with pytest.raises(ValidationError):
+            store.insert(make_vp(seed=1))
+        assert store.insert_many([make_vp(seed=1), make_vp(seed=2)]) == 1
+        store.close()
+
+    def test_reads_flush_first(self):
+        store = SQLiteStore(group_commit_rows=100, group_commit_latency_s=5.0)
+        vps = [make_vp(seed=i + 1, minute=0, x0=60.0 * i) for i in range(3)]
+        store.insert_many(vps)
+        assert store._pending
+        assert fingerprints(store.by_minute(0)) == fingerprints(vps)
+        assert not store._pending  # read-your-writes forced the group down
+        store.close()
+
+    def test_close_flushes_durably(self, tmp_path):
+        path = str(tmp_path / "grouped.sqlite")
+        store = SQLiteStore(path, group_commit_rows=100, group_commit_latency_s=5.0)
+        store.insert_many([make_vp(seed=1), make_vp(seed=2)])
+        assert store._pending
+        store.close()
+        with SQLiteStore(path) as reopened:
+            assert len(reopened) == 2
+
+    def test_eviction_flushes_and_counts_pending_rows(self):
+        store = SQLiteStore(group_commit_rows=100, group_commit_latency_s=5.0)
+        store.insert_many([make_vp(seed=i + 1, minute=i % 2, x0=70.0 * i) for i in range(4)])
+        assert store.evict_before(1) == 2
+        assert store.minutes() == [1]
+        store.close()
+
+    def test_flush_if_due_enforces_latency_bound(self):
+        import time
+
+        store = SQLiteStore(group_commit_rows=100, group_commit_latency_s=0.01)
+        store.insert(make_vp(seed=1))
+        if store._pending:  # the enqueue itself may have hit the deadline
+            time.sleep(0.02)
+            assert store.flush_if_due()
+        assert not store._pending
+        assert not store.flush_if_due()  # nothing pending: a no-op
+        store.close()
+
+    def test_knob_validation(self):
+        with pytest.raises(ValidationError):
+            SQLiteStore(group_commit_rows=-1)
+        with pytest.raises(ValidationError):
+            SQLiteStore(commit_latency_s=-0.1)

@@ -16,6 +16,11 @@ reference machine (the CI runner class) whenever benchmarks are added
 or the fleet changes; timings from a different machine class are not
 comparable.
 
+Benchmarks present in the run but absent from the baseline (a PR adding
+new benchmarks) WARN instead of failing — their reference numbers do
+not exist yet; pass ``--require-all`` to turn those into failures once
+the baseline has been refreshed on the runner class.
+
 Exit codes: 0 = within threshold, 1 = regression (or benchmarks missing
 from the run), 2 = usage/input error.
 """
@@ -60,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write the run's reduced stats to the baseline and exit",
     )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when the run contains benchmarks absent from the "
+        "baseline (default: warn only, so a PR adding benchmarks does "
+        "not gate on numbers that have no reference yet)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -98,8 +110,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"baseline {base['median']:.6f}s ({ratio:.2f}x)"
             )
         print(f"{marker:<10s} {name}  {ratio:.2f}x of baseline")
-    for name in sorted(set(current) - set(baseline)):
-        print(f"NEW        {name}  (no baseline yet; add with --update)")
+    new_names = sorted(set(current) - set(baseline))
+    for name in new_names:
+        # a newly added benchmark has no reference timing yet: warn so
+        # the gap is visible in the log, but do not fail the gate — the
+        # baseline gains the entry at the next --update on the runner
+        # class (enforceable with --require-all once it has)
+        print(f"WARN: no baseline entry for {name} (newly added?); "
+              "regenerate the baseline with --update", file=sys.stderr)
+        if args.require_all:
+            failures.append(f"NEW      {name} (in this run, not in baseline)")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) outside the +{args.threshold:.0%} "
