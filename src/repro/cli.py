@@ -87,6 +87,7 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
         shard_cells=args.shard_cells,
         ingest_workers=args.ingest_workers,
         group_commit_rows=args.group_commit_rows,
+        group_commit_target_s=args.commit_target_ms / 1e3,
     )
     retention = (
         RetentionPolicy(window_minutes=args.retention_minutes)
@@ -97,6 +98,7 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
         stats, vmap = city_viewmap_stats(
             args.speed, n_vehicles=args.vehicles, area_km=args.area_km, seed=args.seed,
             store=store, workers=args.workers, retention=retention,
+            wire_codec=args.wire_codec,
         )
         occupancy = store.stats()
     finally:
@@ -176,6 +178,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="SQLite group-commit size in rows for --store sqlite/procs "
             "(0 = commit per batch; default keeps each backend's own — "
             "off for sqlite, 512 inside procs workers)",
+        )
+        cmd.add_argument(
+            "--wire-codec",
+            choices=("objects", "frame"),
+            default="objects",
+            help="ingest replay encoding: objects = insert_many of VP "
+            "objects, frame = zero-decode columnar frames fed to "
+            "insert_encoded (the upload_vp_batch fast path)",
+        )
+        cmd.add_argument(
+            "--commit-target-ms",
+            type=float,
+            default=0.0,
+            help="adaptive group-commit flush-latency target in ms for "
+            "--store sqlite/procs (0 = fixed sizing; >0 grows/shrinks "
+            "the group toward the target from observed commit latency)",
         )
         cmd.add_argument(
             "--retention-minutes",

@@ -43,6 +43,15 @@ class VPDatabase:
         """Batch-ingest VPs, skipping duplicates; returns how many landed."""
         return self.store.insert_many(vps)
 
+    def insert_encoded(self, batch: bytes) -> int:
+        """Batch-ingest an encoded frame without decoding VP bodies.
+
+        ``batch`` is a :func:`repro.store.codec.encode_vp_batch` buffer
+        — the zero-decode upload path hands the wire bytes straight to
+        the backend.  Duplicates are skipped; returns how many landed.
+        """
+        return self.store.insert_encoded(batch)
+
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
         """Which of these identifiers are already stored (one batch probe)."""
         return self.store.existing_ids(vp_ids)

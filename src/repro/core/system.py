@@ -43,6 +43,7 @@ from repro.crypto.rsa import RSAKeyPair
 from repro.errors import ValidationError
 from repro.geo.geometry import Point
 from repro.store.base import VPStore
+from repro.store.codec import iter_encoded_meta
 from repro.store.lifecycle import LifecycleReport, RetentionPolicy, apply_retention
 
 
@@ -126,6 +127,25 @@ class ViewMapSystem:
             if vp.trusted:
                 raise ValidationError("anonymous uploads cannot claim trusted status")
         return self.database.insert_many(vps)
+
+    def ingest_encoded(self, frame: bytes) -> int:
+        """Batch-accept an encoded upload frame without decoding bodies.
+
+        The zero-decode twin of :meth:`ingest_vps`: ``frame`` is a
+        :func:`repro.store.codec.encode_vp_batch` buffer whose record
+        metadata has already passed wire validation
+        (:func:`repro.net.messages.unpack_vp_batch_frame`).  The
+        trusted-claim check is re-run here from the metadata — this is
+        a public entry point, and the rule that anonymous ingestion can
+        never mint trusted VPs must hold however the bytes arrive —
+        as a pure metadata walk (bodies are never sliced, let alone
+        decoded); then the buffer goes to the store as-is.  Returns how
+        many VPs were newly stored.
+        """
+        for meta, _start, _end in iter_encoded_meta(frame):
+            if meta[2]:
+                raise ValidationError("anonymous uploads cannot claim trusted status")
+        return self.database.insert_encoded(frame)
 
     def ingest_trusted_vp(self, vp: ViewProfile) -> None:
         """Accept a VP through the authenticated authority path."""

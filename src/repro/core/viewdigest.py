@@ -41,6 +41,14 @@ from repro.util.encoding import (
 from repro.util.rng import make_rng
 
 
+#: field offsets inside the 72-byte packed wire format (Section 6.1);
+#: the zero-decode upload validator mirrors this layout as one struct
+#: (``repro.store.codec._PACKED_DIGEST``) — keep the two in sync
+PACKED_T = slice(0, 8)
+PACKED_SECOND_INDEX = slice(32, 40)
+PACKED_VP_ID = slice(40, 56)
+
+
 @dataclass(frozen=True)
 class ViewDigest:
     """One broadcast view digest (immutable once created)."""
@@ -101,12 +109,12 @@ class ViewDigest:
             raise WireFormatError(
                 f"VD message must be {VD_MESSAGE_BYTES} bytes, got {len(data)}"
             )
-        t = unpack_float(data[0:8])
+        t = unpack_float(data[PACKED_T])
         location = unpack_pair_f32(data[8:16])
         file_size = unpack_uint(data[16:24])
         initial_location = unpack_pair_f32(data[24:32])
-        second_index = unpack_uint(data[32:40])
-        vp_id = data[40:56]
+        second_index = unpack_uint(data[PACKED_SECOND_INDEX])
+        vp_id = data[PACKED_VP_ID]
         chain_hash = data[56:72]
         vd = cls(
             second_index=second_index,

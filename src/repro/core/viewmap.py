@@ -176,7 +176,7 @@ def build_viewmap(
         return vmap
 
     candidate_pairs = _candidate_pairs(members, radius_m)
-    key_positions: dict[bytes, list[list[int]]] = {}
+    key_positions: dict[bytes, list[tuple[int, ...]]] = {}
     if not skip_bloom_check:
         for vp in members:
             key_positions[vp.vp_id] = [

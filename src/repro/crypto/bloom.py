@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.constants import BLOOM_BITS
 from repro.errors import ValidationError
@@ -65,14 +66,20 @@ def _bit_positions(item: bytes, k: int, m_bits: int) -> list[int]:
     return [(h1 + i * h2) % m_bits for i in range(k)]
 
 
-def bloom_positions(item: bytes, k: int = 8, m_bits: int = BLOOM_BITS) -> list[int]:
-    """Public access to an item's bit positions.
+@lru_cache(maxsize=1 << 16)
+def bloom_positions(item: bytes, k: int = 8, m_bits: int = BLOOM_BITS) -> tuple[int, ...]:
+    """Public access to an item's bit positions (module-level LRU).
 
     Viewmap construction performs tens of thousands of membership queries
     against the same 60 VDs; precomputing positions once per VD and using
     :meth:`BloomFilter.contains_positions` avoids re-hashing per query.
+    The LRU extends that reuse *across* ``build_viewmap`` calls: a
+    multi-minute ``investigate_period`` keeps meeting the same VPs (and
+    the paper's geometry never varies ``k``/``m`` per deployment), so
+    repeated minutes stop recomputing positions for keys already seen.
+    Returns a tuple — cached values must be immutable to share.
     """
-    return _bit_positions(item, k, m_bits)
+    return tuple(_bit_positions(item, k, m_bits))
 
 
 @dataclass
@@ -108,7 +115,7 @@ class BloomFilter:
             for pos in _bit_positions(item, self.k, self.m_bits)
         )
 
-    def contains_positions(self, positions: list[int]) -> bool:
+    def contains_positions(self, positions: tuple[int, ...] | list[int]) -> bool:
         """Membership test from precomputed bit positions (hot path)."""
         bits = self._bits
         return all(bits[pos >> 3] & (1 << (pos & 7)) for pos in positions)

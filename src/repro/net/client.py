@@ -30,6 +30,7 @@ from repro.net.messages import (
     encode_message,
     pack_view_profile,
     pack_vp_batch,
+    pack_vp_batch_frame,
 )
 from repro.net.onion import OnionNetwork
 from repro.util.rng import make_rng
@@ -43,10 +44,18 @@ class VehicleClient:
     onion: OnionNetwork
     server_address: str = "viewmap-system"
     rng: random.Random = field(default_factory=random.Random)
+    #: batch upload encoding: "blocks" sends the legacy list of fixed
+    #: VP blocks, "frame" sends one zero-decode columnar batch buffer
+    #: the authority routes and stores without decoding bodies
+    wire_codec: str = "blocks"
     #: VPs recorded locally but not yet uploaded
     pending_vps: list[ViewProfile] = field(default_factory=list)
     uploaded: int = 0
     cash: list[VirtualCash] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.wire_codec not in ("blocks", "frame"):
+            raise NetworkError(f"unknown wire codec {self.wire_codec!r}")
 
     def queue_minute_output(self, actual_vp: ViewProfile, guard_vps: list[ViewProfile]) -> None:
         """Stage a finished minute's VPs for the next upload opportunity."""
@@ -83,13 +92,19 @@ class VehicleClient:
 
         The batch path sends up to ``MAX_VP_BATCH`` VPs per circuit
         instead of one, cutting onion round-trips by ~two orders of
-        magnitude on a full minute's output.  Guard VPs are deleted
-        locally after submission, exactly as in :meth:`upload_pending`.
+        magnitude on a full minute's output.  With ``wire_codec="frame"``
+        each request carries one columnar batch buffer instead of a
+        block list — same eligibility rules, but the authority ingests
+        it without decoding a body.  Guard VPs are deleted locally
+        after submission, exactly as in :meth:`upload_pending`.
         """
         landed = 0
         for start in range(0, len(self.pending_vps), MAX_VP_BATCH):
             batch = self.pending_vps[start : start + MAX_VP_BATCH]
-            reply = self._request("upload_vp_batch", vps=pack_vp_batch(batch))
+            if self.wire_codec == "frame":
+                reply = self._request("upload_vp_batch", frame=pack_vp_batch_frame(batch))
+            else:
+                reply = self._request("upload_vp_batch", vps=pack_vp_batch(batch))
             landed += sum(1 for ok in reply["accepted"] if ok)
         self.pending_vps.clear()
         self.uploaded += landed

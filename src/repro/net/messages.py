@@ -4,18 +4,35 @@ View profiles travel as fixed binary blocks (60 packed VDs + the Bloom
 bit-array — 4576 bytes, matching Section 6.1 minus the secret that never
 leaves the vehicle).  Control messages use a JSON envelope with hex-coded
 binary fields: explicit, debuggable, and independent of Python pickling.
+
+Batch uploads additionally support the **zero-decode frame codec**: one
+``upload_vp_batch`` request may carry, instead of a list of VP blocks, a
+single columnar batch buffer (:mod:`repro.store.codec`) whose record
+metadata (id, minute, trusted flag, bounding box) rides outside the
+bodies.  :func:`unpack_vp_batch_frame` validates such a frame from the
+metadata alone — framing integrity, batch size, body sizes, no trusted
+claims — so the authority can route and store the body bytes without
+ever decoding a digest.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 from repro.constants import BLOOM_BYTES, VD_MESSAGE_BYTES, VIDEO_UNIT_SECONDS
 from repro.core.viewdigest import ViewDigest
 from repro.core.viewprofile import ViewProfile
 from repro.crypto.bloom import BloomFilter
-from repro.errors import WireFormatError
+from repro.errors import ValidationError, WireFormatError
+from repro.store.codec import (
+    RECORD_OVERHEAD_BYTES,
+    encode_vp_batch,
+    encoded_body_bytes,
+    iter_encoded_meta,
+    verify_encoded_body,
+)
 
 VP_WIRE_BYTES = VIDEO_UNIT_SECONDS * VD_MESSAGE_BYTES + BLOOM_BYTES
 
@@ -65,6 +82,97 @@ def unpack_vp_batch(blocks: list[bytes]) -> list[ViewProfile]:
             f"VP batch of {len(blocks)} exceeds the {MAX_VP_BATCH}-VP limit"
         )
     return [unpack_view_profile(block) for block in blocks]
+
+
+#: exact body size of a complete 60-digest VP inside a batch frame —
+#: the only record shape an upload frame may carry
+FRAME_BODY_BYTES = encoded_body_bytes(VIDEO_UNIT_SECONDS)
+
+
+def pack_vp_batch_frame(vps: list[ViewProfile]) -> bytes:
+    """Serialize a VP batch as one zero-decode columnar frame.
+
+    The client-side twin of :func:`pack_vp_batch`: same eligibility
+    rules (complete 60-digest VPs only, at most ``MAX_VP_BATCH`` per
+    message, never trusted), but the batch travels as a single
+    ``repro.store.codec`` buffer the authority can validate, route and
+    store without decoding a body.
+    """
+    if len(vps) > MAX_VP_BATCH:
+        raise WireFormatError(
+            f"VP batch of {len(vps)} exceeds the {MAX_VP_BATCH}-VP limit"
+        )
+    for vp in vps:
+        if len(vp.digests) != VIDEO_UNIT_SECONDS:
+            raise WireFormatError(
+                f"only complete {VIDEO_UNIT_SECONDS}-digest VPs can be uploaded"
+            )
+        if vp.trusted:
+            raise WireFormatError("anonymous uploads cannot claim trusted status")
+    return encode_vp_batch(vps)
+
+
+def unpack_vp_batch_frame(frame: bytes) -> tuple[list[tuple], list[tuple[int, int]]]:
+    """Validate one uploaded batch frame without decoding a VP body.
+
+    Returns ``(rows, spans)``: per-record metadata rows ``(vp_id,
+    minute, trusted, x_min, y_min, x_max, y_max)`` and the raw byte
+    span of each record, so the caller can slice per-shard sub-batches
+    straight out of ``frame``.  Every rejection — damaged framing, a
+    record count that disagrees with the bytes present, an oversized
+    batch, a non-finite or inverted bounding box, a body that is not
+    exactly one complete 60-digest VP, a trusted-flag claim — is a
+    clean :class:`ValidationError` before a single record is ingested.
+    Bodies are policed in place by :func:`verify_encoded_body` (blob
+    geometry, digest keys matching the sidecar ``vp_id``, increasing
+    seconds, the claimed minute): everything a later read would enforce
+    holds by byte inspection, so a stored body can always be decoded —
+    without this path ever materializing a :class:`ViewProfile`.
+    """
+    # the header's record count is authoritative (the walk enforces it
+    # byte-exactly), so the batch bound rejects oversized frames before
+    # a single record is parsed — MAX_VP_BATCH bounds server work
+    if len(frame) >= 5:
+        count = int.from_bytes(frame[1:5], "big")
+        if count > MAX_VP_BATCH:
+            raise ValidationError(
+                f"VP batch frame of {count} records exceeds the "
+                f"{MAX_VP_BATCH}-VP limit"
+            )
+    rows: list[tuple] = []
+    spans: list[tuple[int, int]] = []
+    try:
+        for meta, start, end in iter_encoded_meta(frame):
+            rows.append(meta)
+            spans.append((start, end))
+        for meta, (start, end) in zip(rows, spans):
+            if meta[2]:
+                raise ValidationError("anonymous uploads cannot claim trusted status")
+            body_start = start + RECORD_OVERHEAD_BYTES
+            if end - body_start != FRAME_BODY_BYTES:
+                raise ValidationError(
+                    f"frame record body is {end - body_start} bytes; only complete "
+                    f"{VIDEO_UNIT_SECONDS}-digest VPs ({FRAME_BODY_BYTES} bytes) "
+                    "can be uploaded"
+                )
+            if (
+                not all(math.isfinite(value) for value in meta[3:7])
+                or meta[3] > meta[5]
+                or meta[4] > meta[6]
+            ):
+                raise ValidationError("frame record bounding box is not a finite box")
+            verify_encoded_body(
+                frame,
+                body_start,
+                bytes(meta[0]),
+                meta[1],
+                VIDEO_UNIT_SECONDS,
+                bbox=meta[3:7],
+                bloom_k=BloomFilter.k,
+            )
+    except WireFormatError as exc:
+        raise ValidationError(f"malformed VP batch frame: {exc}") from exc
+    return rows, spans
 
 
 def encode_message(kind: str, **fields: Any) -> bytes:

@@ -34,8 +34,10 @@ from repro.net.messages import (
     encode_message,
     unpack_view_profile,
     unpack_vp_batch,
+    unpack_vp_batch_frame,
 )
 from repro.net.transport import InMemoryNetwork
+from repro.store.codec import join_encoded_records
 
 Handler = Callable[[dict[str, Any]], bytes]
 
@@ -160,8 +162,16 @@ class ViewMapServer:
 
         Replies with a per-VP accepted flag (duplicates — against the
         store or within the batch — are rejected individually, never the
-        whole batch).
+        whole batch).  Two request shapes are served: the legacy
+        ``vps`` list of fixed VP blocks (decoded into objects here),
+        and the zero-decode ``frame`` form — one columnar batch buffer
+        validated and duplicate-probed from its record metadata alone,
+        with the fresh records sliced out of the frame and handed to
+        the storage tier still encoded.  No VP body is decoded on this
+        path; old clients keep working unchanged.
         """
+        if "frame" in message:
+            return self._ingest_frame(message["frame"])
         vps = unpack_vp_batch(message["vps"])
         # one indexed probe for the whole batch, not a per-VP round-trip
         taken = self.system.database.existing_ids([vp.vp_id for vp in vps])
@@ -176,6 +186,39 @@ class ViewMapServer:
         inserted = self.system.ingest_vps(fresh)
         if fresh:
             self._observe_minute(max(vp.minute for vp in fresh))
+        return encode_message("batch_ack", accepted=accepted, inserted=inserted)
+
+    def _ingest_frame(self, frame: bytes) -> bytes:
+        """Ingest one zero-decode batch frame (metadata-only fast path).
+
+        Validation (framing, batch bound, complete-VP body sizes, no
+        trusted claims) and the duplicate probe both read only the
+        record metadata; the accepted sub-batch is carved out of the
+        incoming buffer as raw byte spans.  When every record is fresh
+        — the overwhelmingly common case for an honest vehicle's first
+        upload — the original frame is forwarded untouched.
+        """
+        rows, spans = unpack_vp_batch_frame(frame)
+        taken = self.system.database.existing_ids([bytes(row[0]) for row in rows])
+        accepted: list[bool] = []
+        fresh: list[int] = []
+        for index, row in enumerate(rows):
+            vp_id = bytes(row[0])
+            ok = vp_id not in taken
+            accepted.append(ok)
+            if ok:
+                taken.add(vp_id)
+                fresh.append(index)
+        if len(fresh) == len(rows):
+            inserted = self.system.ingest_encoded(frame)
+        elif fresh:
+            inserted = self.system.ingest_encoded(
+                join_encoded_records(frame, [spans[i] for i in fresh])
+            )
+        else:
+            inserted = 0
+        if fresh:
+            self._observe_minute(max(rows[i][1] for i in fresh))
         return encode_message("batch_ack", accepted=accepted, inserted=inserted)
 
     def _on_list_solicitations(self, message: dict[str, Any]) -> bytes:

@@ -40,6 +40,7 @@ selection and tuning guide.
 from __future__ import annotations
 
 from repro.errors import ValidationError
+from repro.store.adaptive import GroupCommitController
 from repro.store.base import StoreStats, VPStore
 from repro.store.codec import decode_vp, decode_vp_batch, encode_vp, encode_vp_batch
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
@@ -67,6 +68,7 @@ def make_store(
     route_cell_m: float = DEFAULT_ROUTE_CELL_M,
     ingest_workers: int = 4,
     group_commit_rows: int | None = None,
+    group_commit_target_s: float = 0.0,
     directory: str = "",
 ) -> VPStore:
     """Build a VP store backend from a CLI-style description.
@@ -84,9 +86,14 @@ def make_store(
     directly, ``procs`` inside each worker): ``None`` keeps each
     backend's default — off for ``sqlite``, 512 rows inside ``procs``
     workers — while an explicit 0 always means commit-per-batch.
-    ``directory`` names the sharded id-directory snapshot file
-    (cold-start seeding).  All backends are thread-safe (see
-    ``docs/stores.md``).
+    ``group_commit_target_s`` > 0 makes the group sizing adaptive
+    (:mod:`repro.store.adaptive`): observed commit latency grows or
+    shrinks the rows/bytes bounds toward that flush-latency target.  A
+    target always implies grouping — the store seeds an unset row
+    bound itself, so tuning can never silently target a
+    commit-per-batch store.  ``directory`` names the sharded
+    id-directory snapshot file (cold-start seeding).  All backends are
+    thread-safe (see ``docs/stores.md``).
     """
     if kind == "memory":
         return MemoryStore(cell_m=cell_m)
@@ -95,6 +102,7 @@ def make_store(
             path or ":memory:",
             decode_cache=decode_cache,
             group_commit_rows=group_commit_rows or 0,
+            group_commit_target_s=group_commit_target_s,
         )
     if kind == "sharded":
         return ShardedStore.memory(
@@ -112,6 +120,7 @@ def make_store(
                 group_commit_rows=DEFAULT_WORKER_GROUP_ROWS
                 if group_commit_rows is None
                 else group_commit_rows,
+                group_commit_target_s=group_commit_target_s,
                 directory=directory,
             )
         return ProcessShardedStore.memory(
@@ -127,6 +136,7 @@ __all__ = [
     "DEFAULT_CELL_M",
     "DEFAULT_DECODE_CACHE",
     "DEFAULT_ROUTE_CELL_M",
+    "GroupCommitController",
     "LifecycleReport",
     "MemoryStore",
     "ProcessShardedStore",

@@ -1,0 +1,140 @@
+"""Self-tuning group-commit sizing from observed commit latency.
+
+The SQLite group-commit path (:mod:`repro.store.sqlite`) buffers rows
+and lands them in one transaction, bounded by rows, bytes and age.  The
+right bounds depend on the deployment: a laptop's page cache commits in
+microseconds, a production authority on networked storage pays a
+milliseconds-class fsync — and hand-picked constants are wrong on at
+least one of them.  :class:`GroupCommitController` closes the loop:
+every flush reports its commit latency, an exponentially weighted
+moving average smooths the noise, and the rows/bytes bounds grow or
+shrink geometrically toward a target flush latency.
+
+Control law (deliberately boring — AIMD-style multiplicative steps):
+
+* EWMA above ``target_latency_s``  -> multiply both bounds by
+  ``shrink_factor`` (< 1): groups are taking too long to land, so cap
+  them sooner and bound the data a crash could lose;
+* EWMA below ``grow_below * target_latency_s`` -> multiply by
+  ``grow_factor`` (> 1): commits are cheap, so amortize more rows per
+  fsync;
+* in between -> hold.  The dead band keeps the controller from
+  oscillating around the target.
+
+Bounds are clamped to ``[min_rows, max_rows]`` / ``[min_bytes,
+max_bytes]`` so a latency spike can never disable grouping entirely
+(rows >= 1 keeps the group-commit path on) and a quiet disk can never
+grow an unbounded crash window.  The controller is deliberately
+lock-free: the store mutates it only under its own writer lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+#: default target flush latency — one group should land in about the
+#: time a production fsync-class commit takes, so grouping amortizes a
+#: handful of commits without stretching the durability window
+DEFAULT_TARGET_LATENCY_S = 0.02
+
+#: grow only when the EWMA is clearly under target (the dead band)
+DEFAULT_GROW_BELOW = 0.5
+
+DEFAULT_GROW_FACTOR = 1.6
+DEFAULT_SHRINK_FACTOR = 0.6
+
+DEFAULT_MIN_ROWS = 16
+DEFAULT_MAX_ROWS = 1 << 16
+
+DEFAULT_MIN_BYTES = 1 << 16
+DEFAULT_MAX_BYTES = 64 << 20
+
+#: EWMA weight of the newest observation (higher = reacts faster)
+DEFAULT_EWMA_ALPHA = 0.3
+
+
+@dataclass
+class GroupCommitController:
+    """Adapts group-commit rows/bytes bounds toward a latency target."""
+
+    target_latency_s: float = DEFAULT_TARGET_LATENCY_S
+    rows: int = 512
+    group_bytes: int = 8 << 20
+    min_rows: int = DEFAULT_MIN_ROWS
+    max_rows: int = DEFAULT_MAX_ROWS
+    min_bytes: int = DEFAULT_MIN_BYTES
+    max_bytes: int = DEFAULT_MAX_BYTES
+    ewma_alpha: float = DEFAULT_EWMA_ALPHA
+    grow_factor: float = DEFAULT_GROW_FACTOR
+    shrink_factor: float = DEFAULT_SHRINK_FACTOR
+    grow_below: float = DEFAULT_GROW_BELOW
+    #: smoothed commit latency; None until the first observation
+    ewma_latency_s: float | None = field(default=None, init=False)
+    observations: int = field(default=0, init=False)
+    grows: int = field(default=0, init=False)
+    shrinks: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.target_latency_s <= 0:
+            raise ValidationError("adaptive commit target latency must be positive")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValidationError("ewma_alpha must be in (0, 1]")
+        if self.shrink_factor >= 1 or self.shrink_factor <= 0:
+            raise ValidationError("shrink_factor must be in (0, 1)")
+        if self.grow_factor <= 1:
+            raise ValidationError("grow_factor must be > 1")
+        if not 0 < self.grow_below < 1:
+            raise ValidationError("grow_below must be in (0, 1)")
+        if not 1 <= self.min_rows <= self.max_rows:
+            raise ValidationError("need 1 <= min_rows <= max_rows")
+        if not 1 <= self.min_bytes <= self.max_bytes:
+            raise ValidationError("need 1 <= min_bytes <= max_bytes")
+        self.rows = self._clamp(self.rows, self.min_rows, self.max_rows)
+        self.group_bytes = self._clamp(self.group_bytes, self.min_bytes, self.max_bytes)
+
+    @staticmethod
+    def _clamp(value: int, lo: int, hi: int) -> int:
+        return max(lo, min(hi, value))
+
+    def observe(self, commit_latency_s: float) -> None:
+        """Fold one flush's commit latency in and re-size the bounds.
+
+        Called by the store after every group commit, with the wall
+        time the transaction (including any modeled durability cost)
+        took to land.
+        """
+        self.observations += 1
+        if self.ewma_latency_s is None:
+            self.ewma_latency_s = commit_latency_s
+        else:
+            self.ewma_latency_s += self.ewma_alpha * (
+                commit_latency_s - self.ewma_latency_s
+            )
+        if self.ewma_latency_s > self.target_latency_s:
+            factor = self.shrink_factor
+            self.shrinks += 1
+        elif self.ewma_latency_s < self.grow_below * self.target_latency_s:
+            factor = self.grow_factor
+            self.grows += 1
+        else:
+            return
+        self.rows = self._clamp(
+            max(int(self.rows * factor), 1), self.min_rows, self.max_rows
+        )
+        self.group_bytes = self._clamp(
+            max(int(self.group_bytes * factor), 1), self.min_bytes, self.max_bytes
+        )
+
+    def snapshot(self) -> dict:
+        """Stats counters for dashboards (store ``stats()`` detail)."""
+        return {
+            "target_s": self.target_latency_s,
+            "ewma_s": self.ewma_latency_s,
+            "rows": self.rows,
+            "bytes": self.group_bytes,
+            "observations": self.observations,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+        }

@@ -144,6 +144,29 @@ class VPStore(ABC):
             inserted += 1
         return inserted
 
+    def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
+        """Batch-ingest from a codec batch buffer; returns how many landed.
+
+        The zero-decode ingest contract: ``batch`` is a
+        :func:`repro.store.codec.encode_vp_batch` buffer, and backends
+        that can should ingest it without materializing
+        :class:`ViewProfile` objects (SQLite stores the rows as-is,
+        sharded fleets slice per-shard sub-batches out of the frame and
+        forward the bytes, worker proxies pipe the buffer through
+        unchanged).  This default decodes and falls back to the object
+        paths — correct for any backend, fast for none.  ``strict``
+        raises ``ValidationError`` on a duplicate id instead of
+        skipping it.
+        """
+        from repro.store.codec import decode_vp_batch  # circular at module scope
+
+        vps = decode_vp_batch(batch)
+        if not strict:
+            return self.insert_many(vps)
+        for vp in vps:
+            self.insert(vp)
+        return len(vps)
+
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
         """Which of these identifiers are already stored (one batch probe).
 

@@ -25,23 +25,31 @@ the VP identifier:
 
 so a consumer can route, deduplicate or build SQLite rows
 (:func:`iter_encoded_rows`) without decoding a single body.  The batch
-format is both the IPC framing of the process shard workers
-(:mod:`repro.store.workers`) and the feed of the SQLite group-commit
-path (:meth:`repro.store.sqlite.SQLiteStore.insert_encoded`).
+format is the IPC framing of the process shard workers
+(:mod:`repro.store.workers`), the feed of the SQLite group-commit path
+(:meth:`repro.store.sqlite.SQLiteStore.insert_encoded`) — and, since
+the zero-decode fast path landed, the binary payload of the
+``upload_vp_batch`` wire message itself: the authority validates and
+shard-routes from the metadata alone, slicing per-shard sub-batches
+out of the incoming frame (:func:`iter_encoded_records` +
+:func:`join_encoded_records`) and forwarding the record bytes
+untouched.
 """
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Iterator, Sequence
 
-from repro.constants import VD_MESSAGE_BYTES, VP_ID_BYTES
+from repro.constants import BLOOM_BYTES, VD_MESSAGE_BYTES, VP_ID_BYTES
 from repro.core.viewdigest import ViewDigest
 from repro.core.viewprofile import ViewProfile
 from repro.crypto.bloom import BloomFilter
 from repro.errors import WireFormatError
 from repro.store.base import vp_bounding_box
 from repro.util.encoding import pack_prefixed, pack_uint, unpack_prefixed, unpack_uint
+from repro.util.timeline import minute_of
 
 VP_BLOB_VERSION = 1
 
@@ -52,6 +60,23 @@ _FLAG_TRUSTED = 0x01
 
 #: fixed leading section of one batch record: flags, minute, bbox
 _RECORD_HEAD = struct.Struct(">BI4d")
+
+#: bytes of one record before its body blob: head + vp_id + length prefix
+RECORD_OVERHEAD_BYTES = _RECORD_HEAD.size + VP_ID_BYTES + 4
+
+#: one full packed digest: t, location, file size, initial location,
+#: second index, vp_id, chain hash — field order of ``ViewDigest.pack``
+_PACKED_DIGEST = struct.Struct(">d2fQ2fQ16s16s")
+
+
+def encoded_body_bytes(n_digests: int) -> int:
+    """Exact storage-blob size of a VP carrying ``n_digests`` digests.
+
+    Pure layout arithmetic (version + bloom k + length prefix + packed
+    digests + bloom bits) — lets a consumer check a record's body is a
+    well-formed complete VP from the length alone, without decoding it.
+    """
+    return 1 + 2 + 4 + n_digests * VD_MESSAGE_BYTES + BLOOM_BYTES
 
 
 def encode_vp(vp: ViewProfile) -> bytes:
@@ -125,6 +150,20 @@ def encode_vp_batch(vps: Sequence[ViewProfile]) -> bytes:
     return b"".join(parts)
 
 
+def iter_encoded_records(batch: bytes) -> Iterator[tuple[tuple, int, int]]:
+    """Walk a batch buffer yielding ``(row, start, end)`` per record.
+
+    ``row`` is the storage row of :func:`iter_encoded_rows`;
+    ``batch[start:end]`` is the record's complete raw span (metadata +
+    body, exactly as framed), so a router can regroup records into new
+    batch buffers (:func:`join_encoded_records`) without ever decoding
+    a body.  A thin body-slicing wrapper over :func:`iter_encoded_meta`
+    — one walker owns the framing validation.
+    """
+    for meta, start, end in iter_encoded_meta(batch):
+        yield (*meta, batch[start + RECORD_OVERHEAD_BYTES : end]), start, end
+
+
 def iter_encoded_rows(batch: bytes) -> Iterator[tuple]:
     """Walk a batch buffer yielding storage rows, bodies left encoded.
 
@@ -132,6 +171,22 @@ def iter_encoded_rows(batch: bytes) -> Iterator[tuple]:
     body)`` — exactly the column order of the SQLite backend's ``vps``
     table, so group-commit ingest is a pure pass-through.  Raises
     :class:`WireFormatError` on version/length mismatches.
+    """
+    for row, _start, _end in iter_encoded_records(batch):
+        yield row
+
+
+def iter_encoded_meta(batch: bytes) -> Iterator[tuple[tuple, int, int]]:
+    """Walk a batch buffer yielding metadata only — bodies never sliced.
+
+    Yields ``(meta, start, end)`` where ``meta`` is the row of
+    :func:`iter_encoded_rows` *without* its body column and
+    ``batch[start:end]`` is the record's raw span.  The walk seeks past
+    each body via its length prefix instead of materializing a ~4.5 kB
+    slice, so consumers that only route or police metadata (the sharded
+    router, trusted-claim re-checks) touch a few dozen bytes per
+    record however large the batch is.  Framing validation is the same
+    as :func:`iter_encoded_records`.
     """
     if len(batch) < 5:
         raise WireFormatError("VP batch too short for header")
@@ -141,19 +196,127 @@ def iter_encoded_rows(batch: bytes) -> Iterator[tuple]:
     count = unpack_uint(batch[1:5])
     offset = 5
     for _ in range(count):
+        start = offset
         head_end = offset + _RECORD_HEAD.size
-        if head_end + VP_ID_BYTES > len(batch):
+        if head_end + VP_ID_BYTES + 4 > len(batch):
             raise WireFormatError("truncated VP batch record")
         flags, minute, x_min, y_min, x_max, y_max = _RECORD_HEAD.unpack(
             batch[offset:head_end]
         )
         vp_id = batch[head_end : head_end + VP_ID_BYTES]
-        body, offset = unpack_prefixed(batch, head_end + VP_ID_BYTES)
-        yield (vp_id, minute, flags & _FLAG_TRUSTED, x_min, y_min, x_max, y_max, body)
+        body_len = unpack_uint(batch[head_end + VP_ID_BYTES : head_end + VP_ID_BYTES + 4])
+        offset = head_end + VP_ID_BYTES + 4 + body_len
+        if offset > len(batch):
+            raise WireFormatError("truncated VP batch record")
+        yield (
+            (vp_id, minute, flags & _FLAG_TRUSTED, x_min, y_min, x_max, y_max),
+            start,
+            offset,
+        )
     if offset != len(batch):
         raise WireFormatError(
             f"VP batch of {count} records leaves {len(batch) - offset} trailing bytes"
         )
+
+
+def verify_encoded_body(
+    batch: bytes,
+    body_start: int,
+    vp_id: bytes,
+    minute: int,
+    n_digests: int,
+    bbox: tuple[float, float, float, float] | None = None,
+    bloom_k: int | None = None,
+) -> None:
+    """Decode-free integrity check of one record's body inside a frame.
+
+    Confirms by direct byte inspection — no :class:`ViewProfile`
+    materialization, no hashing — everything :func:`decode_vp` and the
+    VP constructors would enforce structurally at read time, plus the
+    sidecar-vs-body consistency the legacy wire path got for free by
+    deriving the metadata server-side: blob version, exact digest-block
+    geometry, every packed digest keyed by the sidecar's ``vp_id`` (one
+    body cannot be registered under a second identifier), strictly
+    increasing 1-based second indices, a finite first digest time that
+    lands in the sidecar's claimed ``minute``, ``bbox`` (when given)
+    exactly the min/max of the digests' packed locations (a forged box
+    would mis-index area queries and shard routing), and ``bloom_k``
+    (when given) the only hash count the wire form may declare (a
+    smaller k would inflate viewmap false linkage).  The zero-decode
+    upload path runs this per record so a stored body behaves exactly
+    like a legacy-path VP — a frame that passes can never poison a
+    minute read.  Raises :class:`WireFormatError` on any violation.
+    ``body_start`` indexes the body blob inside ``batch`` (bodies are
+    checked in place, never sliced out).
+    """
+    if batch[body_start] != VP_BLOB_VERSION:
+        raise WireFormatError(
+            f"frame body has unsupported VP blob version {batch[body_start]}"
+        )
+    k = unpack_uint(batch[body_start + 1 : body_start + 3])
+    if k < 1:
+        raise WireFormatError("frame body declares a zero-hash bloom filter")
+    if bloom_k is not None and k != bloom_k:
+        raise WireFormatError(
+            f"frame body declares bloom k={k}; uploads must use k={bloom_k}"
+        )
+    block_bytes = unpack_uint(batch[body_start + 3 : body_start + 7])
+    if block_bytes != n_digests * VD_MESSAGE_BYTES:
+        raise WireFormatError(
+            f"frame body digest block is {block_bytes} bytes, expected "
+            f"{n_digests * VD_MESSAGE_BYTES}"
+        )
+    base = body_start + 7
+    previous = 0
+    t0 = None
+    x_min = y_min = math.inf
+    x_max = y_max = -math.inf
+    isfinite = math.isfinite
+    # one C-level pass over the whole digest block — the per-record hot
+    # loop of wire validation, kept off the Python slice-per-field path;
+    # the memoryview slice is zero-copy, true to "checked in place"
+    for t, x, y, _size, _ix, _iy, second, digest_vp_id, _chain in (
+        _PACKED_DIGEST.iter_unpack(memoryview(batch)[base : base + block_bytes])
+    ):
+        if digest_vp_id != vp_id:
+            raise WireFormatError("frame body digest is keyed by a different vp_id")
+        if not previous < second <= n_digests:
+            raise WireFormatError("frame body digest seconds are not increasing")
+        previous = second
+        if not (isfinite(t) and isfinite(x) and isfinite(y)):
+            # NaN/Inf would sail through min/max (which skip NaN) into
+            # the spatial index and time arrays — poison, not data
+            raise WireFormatError("frame body digest carries non-finite time/location")
+        if t0 is None:
+            t0 = t
+        if bbox is not None:
+            x_min, x_max = min(x_min, x), max(x_max, x)
+            y_min, y_max = min(y_min, y), max(y_max, y)
+    if bbox is not None and tuple(bbox) != (x_min, y_min, x_max, y_max):
+        # exact comparison is sound: wire locations are float32-rounded
+        # before packing, so an honest sidecar (built by
+        # vp_bounding_box over the same values) matches bit-for-bit
+        raise WireFormatError(
+            "frame record bounding box does not match the body's locations"
+        )
+    if t0 is None or t0 < 0 or minute_of(t0) != minute:
+        raise WireFormatError("frame body start time does not match the claimed minute")
+
+
+def join_encoded_records(batch: bytes, spans: Sequence[tuple[int, int]]) -> bytes:
+    """Build a new batch buffer from raw record spans of an existing one.
+
+    ``spans`` are ``(start, end)`` pairs as yielded by
+    :func:`iter_encoded_records` — the caller has already validated the
+    source frame by walking it, so this is pure byte slicing: the
+    zero-decode router's tool for carving per-shard sub-batches out of
+    one incoming wire frame.  Passing every span of ``batch`` in order
+    reproduces it byte-for-byte.
+    """
+    return b"".join(
+        [pack_uint(VP_BATCH_VERSION, 1), pack_uint(len(spans), 4)]
+        + [batch[start:end] for start, end in spans]
+    )
 
 
 def decode_vp_batch(batch: bytes) -> list[ViewProfile]:

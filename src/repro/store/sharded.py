@@ -7,14 +7,19 @@ Models the authority running N storage nodes.  Routing is a composite
   every VP lands on ``shards[minute % N]`` — a whole minute, the unit
   of investigation, lives on exactly one shard and minute/area queries
   touch a single backend;
-* with ``shard_cells=C > 1`` each VP's first claimed position is hashed
-  into one of C spatial routing slots (cell edge ``route_cell_m``) and
-  the VP lands on ``shards[(minute + slot) % N]``.  A single *hot*
-  minute — rush hour concentrated in one district — now fans out across
-  ``min(C, N)`` shards, so concurrent batch inserts into the same
-  minute stop serializing behind one backend's writer lock.  Minute
-  queries gather from the (bounded) owner-shard set and re-merge into
-  fleet-wide insertion order via a per-minute sequence map.
+* with ``shard_cells=C > 1`` the min corner of each VP's trajectory
+  bounding box is hashed into one of C spatial routing slots (cell edge
+  ``route_cell_m``) and the VP lands on ``shards[(minute + slot) % N]``.
+  A single *hot* minute — rush hour concentrated in one district — now
+  fans out across ``min(C, N)`` shards, so concurrent batch inserts
+  into the same minute stop serializing behind one backend's writer
+  lock.  Minute queries gather from the (bounded) owner-shard set and
+  re-merge into fleet-wide insertion order via a per-minute sequence
+  map.  Routing keys off the bounding box — metadata every encoded
+  batch record carries — so the zero-decode ingest path
+  (:meth:`ShardedStore.insert_encoded`) routes a wire frame's records
+  to exactly the shards the object path would pick, without decoding a
+  single body.
 
 Point lookups (``get``/``in``) probe shards in order, because an
 anonymous identifier carries no minute information.  Shards can be any
@@ -48,6 +53,7 @@ the minute bucket, and the next retention pass removes it.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 from pathlib import Path
@@ -56,7 +62,13 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
 from repro.geo.geometry import Rect
-from repro.store.base import DUPLICATE_ID_MESSAGE, StoreStats, VPStore
+from repro.store.base import (
+    DUPLICATE_ID_MESSAGE,
+    StoreStats,
+    VPStore,
+    vp_bounding_box,
+)
+from repro.store.codec import iter_encoded_meta, join_encoded_records
 from repro.store.grid import DEFAULT_CELL_M
 from repro.store.memory import MemoryStore
 from repro.store.sqlite import SQLiteStore
@@ -129,8 +141,8 @@ class ShardedStore(VPStore):
         # duplicate checks and point-read routing answer from memory
         # instead of probing every shard per batch (which serialized all
         # writers behind N backend queries).  Seeded from pre-populated
-        # shards (metadata-only scan), kept exact by _release on the
-        # write paths and evict_before.  ``_minute_ids`` groups the same
+        # shards (metadata-only scan), kept exact by _release_pairs on
+        # the write paths and evict_before.  ``_minute_ids`` groups the same
         # ids by minute so eviction retires a minute's directory entries
         # wholesale; mutate both only through _directory_add and
         # evict_before.
@@ -277,26 +289,47 @@ class ShardedStore(VPStore):
         """The backend owning one minute's VPs under minute-only routing."""
         return self.shards[minute % len(self.shards)]
 
-    def _cell_slot(self, vp: ViewProfile) -> int:
-        """The VP's spatial routing slot in ``[0, shard_cells)``.
+    def _slot_of_xy(self, x: float, y: float) -> int:
+        """Spatial routing slot of one coordinate in ``[0, shard_cells)``.
 
-        Derived from the routing cell of the *first* claimed position —
-        deterministic per VP, so the same VP always routes to the same
-        shard.  The mix is an explicit integer hash (stable across
-        processes, unlike ``hash()`` on strings) so a persistent fleet
-        reopened later routes queries to the same shards.
+        The mix is an explicit integer hash (stable across processes,
+        unlike ``hash()`` on strings) so a persistent fleet reopened
+        later routes queries to the same shards.  Non-finite
+        coordinates are rejected as ``ValidationError`` — routing is
+        fed attacker-influenced metadata, and ``int(nan // cell)``
+        would otherwise escape as a non-Repro exception.
         """
-        if self.shard_cells == 1:
-            return 0
-        x, y = vp.positions_array[0]
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValidationError("cannot route a VP with non-finite coordinates")
         cx = int(float(x) // self.route_cell_m)
         cy = int(float(y) // self.route_cell_m)
         mixed = (cx * 0x9E3779B1 + cy * 0x85EBCA77) & 0xFFFFFFFF
         return mixed % self.shard_cells
 
+    def _cell_slot(self, vp: ViewProfile) -> int:
+        """The VP's spatial routing slot in ``[0, shard_cells)``.
+
+        Derived from the routing cell of the bounding box's min corner
+        — deterministic per VP, so the same VP always routes to the
+        same shard, and computable from an encoded batch record's
+        metadata alone, so the zero-decode path
+        (:meth:`insert_encoded`) agrees with this object path on every
+        placement.
+        """
+        if self.shard_cells == 1:
+            return 0
+        x_min, y_min, _x_max, _y_max = vp_bounding_box(vp)
+        return self._slot_of_xy(x_min, y_min)
+
     def _shard_index(self, vp: ViewProfile) -> int:
         """Composite ``(minute, cell)`` shard index for one VP."""
         return (vp.minute + self._cell_slot(vp)) % len(self.shards)
+
+    def _shard_index_row(self, row: tuple) -> int:
+        """Composite shard index from an encoded record's metadata row."""
+        if self.shard_cells == 1:
+            return row[1] % len(self.shards)
+        return (row[1] + self._slot_of_xy(row[3], row[4])) % len(self.shards)
 
     def _owner_indices(self, minute: int) -> list[int]:
         """Every shard index that may hold VPs of one minute."""
@@ -318,46 +351,55 @@ class ShardedStore(VPStore):
 
     # -- writes ------------------------------------------------------------
 
-    def _reserve(self, vps: list[ViewProfile]) -> list[ViewProfile]:
+    def _reserve_pairs(self, pairs: list[tuple[bytes, int]]) -> list[int]:
         """Claim the batch's fresh ids against the fleet and in-flight set.
 
-        Runs the fleet-wide duplicate check and the claim as one atomic
+        ``pairs`` are ``(vp_id, minute)`` tuples — the metadata both the
+        object path and the zero-decode frame path have on hand.  Runs
+        the fleet-wide duplicate check and the claim as one atomic
         step, closing the window where the same id at two different
         minutes (or cells) would pass two independent checks and land on
         two shards.  The check is a pure in-memory probe of the id
         directory — no backend round-trips while the routing lock is
-        held.  Returns the VPs this caller now owns the right to insert
-        (first claim per id wins); release with ``_release``.
+        held.  Returns the indices of the pairs this caller now owns
+        the right to insert (first claim per id wins); release with
+        ``_release_pairs``.
         """
         with self._route_lock:
             taken = self._ids
-            fresh: list[ViewProfile] = []
+            fresh: list[int] = []
             seen: set[bytes] = set()
-            for vp in vps:
-                if vp.vp_id in taken or vp.vp_id in self._in_flight or vp.vp_id in seen:
+            for index, (vp_id, _minute) in enumerate(pairs):
+                if vp_id in taken or vp_id in self._in_flight or vp_id in seen:
                     continue
-                seen.add(vp.vp_id)
-                fresh.append(vp)
+                seen.add(vp_id)
+                fresh.append(index)
             self._in_flight.update(seen)
             if self.shard_cells > 1:
                 # claim fleet-wide insertion-order slots while the batch
                 # order is still known; a stale entry from a failed
                 # insert is harmless (merges only order rows that exist)
-                for vp in fresh:
-                    seq_map = self._minute_seq.setdefault(vp.minute, {})
-                    seq_map[vp.vp_id] = self._next_seq
+                for index in fresh:
+                    vp_id, minute = pairs[index]
+                    seq_map = self._minute_seq.setdefault(minute, {})
+                    seq_map[vp_id] = self._next_seq
                     self._next_seq += 1
             return fresh
 
-    def _release(self, vps: list[ViewProfile], stored: bool) -> None:
+    def _reserve(self, vps: list[ViewProfile]) -> list[ViewProfile]:
+        """Object-path wrapper of ``_reserve_pairs``; returns claimed VPs."""
+        fresh = self._reserve_pairs([(vp.vp_id, vp.minute) for vp in vps])
+        return [vps[index] for index in fresh]
+
+    def _release_pairs(self, pairs: list[tuple[bytes, int]], stored: bool) -> None:
         """Drop reservations; record ids whose rows landed in a shard."""
         with self._route_lock:
-            self._in_flight.difference_update(vp.vp_id for vp in vps)
+            self._in_flight.difference_update(vp_id for vp_id, _minute in pairs)
             if stored:
-                for vp in vps:
-                    self._directory_add(vp.vp_id, vp.minute)
+                for vp_id, minute in pairs:
+                    self._directory_add(vp_id, minute)
 
-    def _release_after_failure(self, vps: list[ViewProfile]) -> None:
+    def _release_failed_pairs(self, pairs: list[tuple[bytes, int]]) -> None:
         """Reconcile the directory when an insert raised mid-flight.
 
         An exception leaves the per-shard outcome unknown (some
@@ -366,14 +408,18 @@ class ShardedStore(VPStore):
         rows that actually landed are recorded — keeping the directory
         exactly as trustworthy as the shard probes it replaced.
         """
-        by_id = {vp.vp_id: vp for vp in vps}
+        by_id = dict(pairs)
         landed: set[bytes] = set()
         for shard in self.shards:
             landed |= shard.existing_ids(list(by_id))
         with self._route_lock:
             self._in_flight.difference_update(by_id)
             for vp_id in landed:
-                self._directory_add(vp_id, by_id[vp_id].minute)
+                self._directory_add(vp_id, by_id[vp_id])
+
+    def _release_after_failure(self, vps: list[ViewProfile]) -> None:
+        """Object-path wrapper of ``_release_failed_pairs``."""
+        self._release_failed_pairs([(vp.vp_id, vp.minute) for vp in vps])
 
     def insert(self, vp: ViewProfile) -> None:
         """Store one VP; raises ``ValidationError`` on a duplicate id.
@@ -390,7 +436,7 @@ class ShardedStore(VPStore):
         except BaseException:
             self._release_after_failure(claimed)
             raise
-        self._release(claimed, stored=True)
+        self._release_pairs([(vp.vp_id, vp.minute)], stored=True)
 
     def insert_trusted(self, vp: ViewProfile) -> None:
         """Store a VP through the authority path, marking it trusted.
@@ -409,7 +455,7 @@ class ShardedStore(VPStore):
         except BaseException:
             self._release_after_failure(claimed)
             raise
-        self._release(claimed, stored=True)
+        self._release_pairs([(vp.vp_id, vp.minute)], stored=True)
 
     def insert_many(self, vps: Iterable[ViewProfile]) -> int:
         """Batch-ingest VPs, skipping duplicates; returns how many landed.
@@ -434,41 +480,95 @@ class ShardedStore(VPStore):
             by_shard: dict[int, list[ViewProfile]] = {}
             for vp in fresh:
                 by_shard.setdefault(self._shard_index(vp), []).append(vp)
-            with self._pool_lock:
-                self._active_batches += 1
-                contended = self._active_batches > 1
-                self._rotation += 1
-                rotation = self._rotation
-            try:
-                pool = None
-                if len(by_shard) > 1 and not contended:
-                    pool = self._fanout_pool()
-                if pool is None:
-                    order = sorted(
-                        by_shard,
-                        key=lambda idx: (idx + rotation) % len(self.shards),
-                    )
-                    inserted = sum(
-                        self.shards[idx].insert_many(by_shard[idx]) for idx in order
-                    )
-                else:
-                    futures = [
-                        pool.submit(self.shards[idx].insert_many, batch)
-                        for idx, batch in by_shard.items()
-                    ]
-                    # drain every sub-batch before surfacing a failure:
-                    # the post-failure directory reconciliation probes
-                    # the shards and must see the final outcome, not
-                    # race a sibling sub-batch that is still committing
-                    wait(futures)
-                    inserted = sum(f.result() for f in futures)
-            finally:
-                with self._pool_lock:
-                    self._active_batches -= 1
+            inserted = self._fanout_insert(
+                by_shard, lambda shard, batch: shard.insert_many(batch)
+            )
         except BaseException:
             self._release_after_failure(fresh)
             raise
-        self._release(fresh, stored=True)
+        self._release_pairs([(vp.vp_id, vp.minute) for vp in fresh], stored=True)
+        return inserted
+
+    def _fanout_insert(
+        self, by_shard: dict[int, _T], submit: Callable[[VPStore, _T], int]
+    ) -> int:
+        """Run one per-shard insert payload map with adaptive parallelism.
+
+        The concurrency policy shared by the object and zero-decode
+        write paths: a lone caller fans out on the private pool
+        (overlapping per-shard commit I/O), concurrent callers run
+        inline on rotated shard orders so they walk the fleet out of
+        phase instead of convoying on one writer lock.
+        """
+        with self._pool_lock:
+            self._active_batches += 1
+            contended = self._active_batches > 1
+            self._rotation += 1
+            rotation = self._rotation
+        try:
+            pool = None
+            if len(by_shard) > 1 and not contended:
+                pool = self._fanout_pool()
+            if pool is None:
+                order = sorted(
+                    by_shard,
+                    key=lambda idx: (idx + rotation) % len(self.shards),
+                )
+                return sum(submit(self.shards[idx], by_shard[idx]) for idx in order)
+            futures = [
+                pool.submit(submit, self.shards[idx], payload)
+                for idx, payload in by_shard.items()
+            ]
+            # drain every sub-batch before surfacing a failure: the
+            # post-failure directory reconciliation probes the shards
+            # and must see the final outcome, not race a sibling
+            # sub-batch that is still committing
+            wait(futures)
+            return sum(f.result() for f in futures)
+        finally:
+            with self._pool_lock:
+                self._active_batches -= 1
+
+    def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
+        """Zero-decode batch ingest: slice the frame, forward the bytes.
+
+        The routing tier's half of the wire fast path: records are
+        routed from their metadata (minute + bounding-box cell),
+        per-shard sub-batches are carved out of the incoming buffer as
+        raw byte spans, and each shard ingests its slice through its
+        own ``insert_encoded`` — no VP body is decoded (or even sliced)
+        anywhere on the parent.  Reservation, fan-out and failure
+        reconciliation are exactly the object path's; a batch that
+        routes entirely to one shard forwards the original buffer
+        untouched.
+        """
+        records = list(iter_encoded_meta(batch))
+        pairs = [(bytes(row[0]), row[1]) for row, _start, _end in records]
+        fresh = self._reserve_pairs(pairs)
+        if strict and len(fresh) != len(pairs):
+            self._release_pairs([pairs[i] for i in fresh], stored=False)
+            raise ValidationError(DUPLICATE_ID_MESSAGE)
+        claimed = [pairs[i] for i in fresh]
+        try:
+            by_shard: dict[int, list[int]] = {}
+            for i in fresh:
+                by_shard.setdefault(self._shard_index_row(records[i][0]), []).append(i)
+            if len(fresh) == len(records) and len(by_shard) == 1:
+                frames = {next(iter(by_shard)): batch}  # pass-through, no copy
+            else:
+                frames = {
+                    idx: join_encoded_records(
+                        batch, [(records[i][1], records[i][2]) for i in indices]
+                    )
+                    for idx, indices in by_shard.items()
+                }
+            inserted = self._fanout_insert(
+                frames, lambda shard, buf: shard.insert_encoded(buf, strict=strict)
+            )
+        except BaseException:
+            self._release_failed_pairs(claimed)
+            raise
+        self._release_pairs(claimed, stored=True)
         return inserted
 
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:

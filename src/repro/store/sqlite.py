@@ -50,6 +50,15 @@ Thread safety and performance (the concurrency-control contract of
   unconditionally.  Durability narrows to the group: a crash loses at
   most the unflushed rows, the same window WAL's
   ``synchronous=NORMAL`` already trades away.
+* **adaptive group commit** — with ``group_commit_target_s > 0`` the
+  rows/bytes bounds stop being constants: every flush reports its
+  observed commit latency to a
+  :class:`~repro.store.adaptive.GroupCommitController`, whose EWMA
+  grows the group when commits land well under the target and shrinks
+  it when they overrun — so a store deployed on page-cache-fast local
+  disk and one paying a modeled production fsync
+  (``commit_latency_s``) both converge near their optimal group size
+  without hand-picked constants.
 """
 
 from __future__ import annotations
@@ -66,6 +75,13 @@ from typing import Iterable
 from repro.core.viewprofile import ViewProfile
 from repro.errors import StorageError, ValidationError
 from repro.geo.geometry import Rect
+from repro.store.adaptive import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ROWS,
+    DEFAULT_MIN_BYTES,
+    DEFAULT_MIN_ROWS,
+    GroupCommitController,
+)
 from repro.store.base import (
     DUPLICATE_ID_MESSAGE,
     StoreStats,
@@ -139,6 +155,10 @@ DEFAULT_GROUP_COMMIT_BYTES = 8 << 20
 #: explicit ``flush_if_due``, which the shard worker loop calls when idle)
 DEFAULT_GROUP_COMMIT_LATENCY_S = 0.05
 
+#: row-bound seed when ``group_commit_target_s`` enables adaptive sizing
+#: without an explicit ``group_commit_rows`` — a target implies grouping
+DEFAULT_ADAPTIVE_GROUP_ROWS = 512
+
 
 class SQLiteStore(VPStore):
     """Durable minute- and bbox-indexed backend on the stdlib sqlite3."""
@@ -153,12 +173,15 @@ class SQLiteStore(VPStore):
         group_commit_rows: int = 0,
         group_commit_bytes: int = DEFAULT_GROUP_COMMIT_BYTES,
         group_commit_latency_s: float = DEFAULT_GROUP_COMMIT_LATENCY_S,
+        group_commit_target_s: float = 0.0,
         commit_latency_s: float = 0.0,
     ) -> None:
         if group_commit_rows < 0 or group_commit_bytes < 1 or group_commit_latency_s < 0:
             raise ValidationError(
                 "group_commit_rows/latency must be >= 0 and group_commit_bytes >= 1"
             )
+        if group_commit_target_s < 0:
+            raise ValidationError("group_commit_target_s must be >= 0")
         if commit_latency_s < 0:
             raise ValidationError("commit_latency_s must be >= 0")
         self.path = path
@@ -168,6 +191,30 @@ class SQLiteStore(VPStore):
         self.group_commit_rows = group_commit_rows
         self.group_commit_bytes = group_commit_bytes
         self.group_commit_latency_s = group_commit_latency_s
+        # adaptive sizing: the controller owns the live rows/bytes
+        # bounds once enabled; the constructor arguments seed it.  All
+        # reads/mutations run under the writer lock (flush path).
+        self._adaptive: GroupCommitController | None = None
+        if group_commit_target_s > 0:
+            # a latency target implies grouping: silently tuning a
+            # commit-per-batch store toward nothing would betray the
+            # module contract, so an unset row bound is seeded instead
+            if self.group_commit_rows == 0:
+                self.group_commit_rows = group_commit_rows = DEFAULT_ADAPTIVE_GROUP_ROWS
+            self._adaptive = GroupCommitController(
+                target_latency_s=group_commit_target_s,
+                rows=group_commit_rows,
+                group_bytes=group_commit_bytes,
+                # an operator who seeds the group outside the stock
+                # bounds meant it: the clamps widen to include the seed
+                # (in both directions) instead of silently moving it
+                min_rows=min(group_commit_rows, DEFAULT_MIN_ROWS),
+                min_bytes=min(group_commit_bytes, DEFAULT_MIN_BYTES),
+                max_rows=max(group_commit_rows, DEFAULT_MAX_ROWS),
+                max_bytes=max(group_commit_bytes, DEFAULT_MAX_BYTES),
+            )
+            self.group_commit_rows = self._adaptive.rows
+            self.group_commit_bytes = self._adaptive.group_bytes
         #: modeled per-commit durability cost, the same modeling idiom as
         #: ``latency_s`` on the network fabrics: a production authority
         #: pays a real fsync (``synchronous=FULL``, networked storage)
@@ -335,9 +382,16 @@ class SQLiteStore(VPStore):
         if not self._pending:
             return
         conn = self._conn
+        t0 = time.perf_counter() if self._adaptive is not None else 0.0
         with conn:
             conn.executemany(_INSERT_OR_IGNORE, self._pending.values())
         self._charge_commit()
+        if self._adaptive is not None:
+            # the controller sees the full durability cost (modeled
+            # fsync included) and re-sizes the live bounds in place
+            self._adaptive.observe(time.perf_counter() - t0)
+            self.group_commit_rows = self._adaptive.rows
+            self.group_commit_bytes = self._adaptive.group_bytes
         self._grouped_rows += len(self._pending)
         self._group_commits += 1
         self._pending.clear()
@@ -719,6 +773,8 @@ class SQLiteStore(VPStore):
                 "grouped_rows": self._grouped_rows,
                 "pending": len(pending_rows),
             }
+            if self._adaptive is not None:
+                group["adaptive"] = self._adaptive.snapshot()
         with self._read_guard:
             total = self._conn.execute(_COUNT).fetchone()[0]
             trusted = self._conn.execute(_COUNT_TRUSTED).fetchone()[0]

@@ -51,6 +51,7 @@ from repro.errors import ReproError, StorageError
 from repro.geo.geometry import Rect
 from repro.store.base import StoreStats, VPStore
 from repro.store.codec import decode_vp_batch, encode_vp_batch
+from repro.util.encoding import unpack_uint
 from repro.store.grid import DEFAULT_CELL_M
 from repro.store.memory import MemoryStore
 from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
@@ -95,6 +96,7 @@ def _build_worker_store(spec: dict) -> VPStore:
             group_commit_latency_s=spec.get(
                 "group_commit_latency_s", DEFAULT_GROUP_COMMIT_LATENCY_S
             ),
+            group_commit_target_s=spec.get("group_commit_target_s", 0.0),
             commit_latency_s=spec.get("commit_latency_s", 0.0),
         )
     raise StorageError(f"unknown worker backend kind {spec.get('kind')!r}")
@@ -104,14 +106,11 @@ def _dispatch(store: VPStore, request: tuple) -> object:
     """Execute one command against the worker's backend."""
     op = request[0]
     if op == "batch":
-        if isinstance(store, SQLiteStore):
-            return store.insert_encoded(request[1])
-        return store.insert_many(decode_vp_batch(request[1]))
+        # every backend speaks insert_encoded now: SQLite ingests the
+        # rows without decoding bodies, memory decodes worker-side
+        return store.insert_encoded(request[1])
     if op == "insert":
-        if isinstance(store, SQLiteStore):
-            store.insert_encoded(request[1], strict=True)
-        else:
-            store.insert(decode_vp_batch(request[1])[0])
+        store.insert_encoded(request[1], strict=True)
         return None
     if op == "get":
         vp = store.get(request[1])
@@ -289,6 +288,21 @@ class WorkerShard(VPStore):
         if not vps:
             return 0
         return self._request("batch", encode_vp_batch(vps))
+
+    def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
+        """Forward an already-framed batch buffer to the worker as-is.
+
+        The zero-decode hand-off: the buffer a wire frame (or a sharded
+        router's slice of one) arrives in IS the worker IPC framing, so
+        ingest is a pure pipe write — no decode, no re-encode, no
+        object materialization on the parent's GIL.
+        """
+        if strict:
+            self._request("insert", batch)
+            # strict admits every record or raises; the count is the
+            # frame header's, no need to re-walk the buffer
+            return unpack_uint(batch[1:5])
+        return self._request("batch", batch)
 
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
         """Which of these identifiers the worker already stores."""
@@ -471,6 +485,7 @@ class ProcessShardedStore(ShardedStore):
         route_cell_m: float = DEFAULT_ROUTE_CELL_M,
         group_commit_rows: int = DEFAULT_WORKER_GROUP_ROWS,
         group_commit_latency_s: float = DEFAULT_GROUP_COMMIT_LATENCY_S,
+        group_commit_target_s: float = 0.0,
         commit_latency_s: float = 0.0,
         directory: str = "",
         **kwargs: object,
@@ -480,9 +495,12 @@ class ProcessShardedStore(ShardedStore):
         Workers group-commit by default (``group_commit_rows`` rows per
         transaction, ``group_commit_latency_s`` age bound) — the
         configuration the ingest benchmarks measure.
-        ``commit_latency_s`` models each worker's per-commit durability
-        cost; the sleeps run in separate processes, so they overlap
-        across the fleet exactly as real fsyncs on per-node storage.
+        ``group_commit_target_s`` > 0 makes each worker's group sizing
+        adaptive (see :mod:`repro.store.adaptive`), seeded from the
+        rows/bytes arguments.  ``commit_latency_s`` models each
+        worker's per-commit durability cost; the sleeps run in separate
+        processes, so they overlap across the fleet exactly as real
+        fsyncs on per-node storage.
         """
         specs = [
             {
@@ -490,6 +508,7 @@ class ProcessShardedStore(ShardedStore):
                 "path": path,
                 "group_commit_rows": group_commit_rows,
                 "group_commit_latency_s": group_commit_latency_s,
+                "group_commit_target_s": group_commit_target_s,
                 "commit_latency_s": commit_latency_s,
             }
             for path in paths

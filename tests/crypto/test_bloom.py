@@ -59,6 +59,20 @@ class TestBloomFilter:
         assert bloom.contains_positions(pos_in)
         assert bloom.contains_positions(pos_out) == (b"absent-key" in bloom)
 
+    def test_positions_memoized_across_calls(self):
+        # the module-level LRU hands back the SAME tuple for a repeated
+        # key — repeated investigate_period minutes stop re-hashing —
+        # and the cached positions still match a fresh derivation
+        first = bloom_positions(b"memo-key", 8, 2048)
+        again = bloom_positions(b"memo-key", 8, 2048)
+        assert again is first
+        assert isinstance(first, tuple)
+        bloom = BloomFilter()
+        bloom.add(b"memo-key")
+        assert bloom.contains_positions(first)
+        # a different geometry is a different cache entry, not a clash
+        assert bloom_positions(b"memo-key", 4, 2048) != first
+
     def test_all_ones_is_saturated(self):
         assert BloomFilter.all_ones().is_saturated()
         assert not BloomFilter().is_saturated()

@@ -1,0 +1,228 @@
+"""Unit tests for the adaptive group-commit controller and its wiring.
+
+The controller's contract (``repro.store.adaptive``): commit latency
+above target shrinks the group bounds, latency comfortably below target
+grows them, the dead band holds, the clamps are inviolable, and every
+decision is visible through the stats counters.  The integration half
+pins the SQLite wiring: the live ``group_commit_rows``/``bytes`` track
+the controller after every flush, and ``stats()`` exposes the snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.store.adaptive import GroupCommitController
+from repro.store.sqlite import SQLiteStore
+from tests.store.conftest import make_vp
+
+
+def make_controller(**kwargs) -> GroupCommitController:
+    defaults = dict(
+        target_latency_s=0.010,
+        rows=512,
+        group_bytes=1 << 20,
+        min_rows=16,
+        max_rows=4096,
+        min_bytes=1 << 16,
+        max_bytes=16 << 20,
+    )
+    defaults.update(kwargs)
+    return GroupCommitController(**defaults)
+
+
+class TestControlLaw:
+    def test_latency_above_target_shrinks(self):
+        ctl = make_controller()
+        ctl.observe(0.050)  # 5x over target
+        assert ctl.rows < 512
+        assert ctl.group_bytes < (1 << 20)
+        assert ctl.shrinks == 1 and ctl.grows == 0
+
+    def test_latency_below_target_grows(self):
+        ctl = make_controller()
+        ctl.observe(0.001)  # well under grow_below * target
+        assert ctl.rows > 512
+        assert ctl.group_bytes > (1 << 20)
+        assert ctl.grows == 1 and ctl.shrinks == 0
+
+    def test_dead_band_holds(self):
+        # between grow_below*target and target: no adjustment at all
+        ctl = make_controller()
+        ctl.observe(0.007)
+        assert ctl.rows == 512
+        assert ctl.group_bytes == 1 << 20
+        assert ctl.grows == 0 and ctl.shrinks == 0
+        assert ctl.observations == 1
+
+    def test_ewma_smooths_a_single_spike(self):
+        # steady fast commits, then one slow outlier: the EWMA keeps the
+        # average under target, so a lone spike must not shrink the group
+        ctl = make_controller(ewma_alpha=0.2)
+        for _ in range(10):
+            ctl.observe(0.006)
+        rows_before = ctl.rows
+        ctl.observe(0.020)  # 2x target once; EWMA stays ~0.009 < target
+        assert ctl.rows == rows_before
+        assert ctl.shrinks == 0
+
+    def test_sustained_overrun_does_shrink(self):
+        ctl = make_controller(ewma_alpha=0.2)
+        for _ in range(10):
+            ctl.observe(0.030)
+        assert ctl.shrinks >= 9
+        assert ctl.rows < 512
+
+
+class TestBounds:
+    def test_shrink_clamps_at_min(self):
+        ctl = make_controller()
+        for _ in range(50):
+            ctl.observe(1.0)
+        assert ctl.rows == ctl.min_rows
+        assert ctl.group_bytes == ctl.min_bytes
+        # grouping can never be disabled by a latency storm
+        assert ctl.rows >= 1
+
+    def test_grow_clamps_at_max(self):
+        ctl = make_controller()
+        for _ in range(50):
+            ctl.observe(0.0001)
+        assert ctl.rows == ctl.max_rows
+        assert ctl.group_bytes == ctl.max_bytes
+
+    def test_seed_outside_bounds_is_clamped(self):
+        ctl = make_controller(rows=1, group_bytes=1 << 30)
+        assert ctl.rows == ctl.min_rows
+        assert ctl.group_bytes == ctl.max_bytes
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"target_latency_s": 0.0},
+            {"target_latency_s": -1.0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"shrink_factor": 1.0},
+            {"grow_factor": 1.0},
+            {"grow_below": 0.0},
+            {"min_rows": 0},
+            {"min_rows": 100, "max_rows": 10},
+            {"min_bytes": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            make_controller(**bad)
+
+
+class TestCounters:
+    def test_snapshot_exposes_every_gauge(self):
+        ctl = make_controller()
+        ctl.observe(0.030)
+        ctl.observe(0.001)
+        snap = ctl.snapshot()
+        assert snap["target_s"] == pytest.approx(0.010)
+        assert snap["ewma_s"] is not None
+        assert snap["rows"] == ctl.rows
+        assert snap["bytes"] == ctl.group_bytes
+        assert snap["observations"] == 2
+        assert snap["grows"] + snap["shrinks"] >= 1
+
+    def test_first_observation_seeds_the_ewma(self):
+        ctl = make_controller()
+        assert ctl.ewma_latency_s is None
+        ctl.observe(0.004)
+        assert ctl.ewma_latency_s == pytest.approx(0.004)
+
+
+class TestSQLiteWiring:
+    def test_slow_commits_shrink_the_live_bounds(self):
+        # 20 ms modeled commit vs a 5 ms target: every flush overruns,
+        # so the live row bound must walk down to the controller's floor
+        store = SQLiteStore(
+            group_commit_rows=64,
+            group_commit_target_s=0.005,
+            commit_latency_s=0.020,
+        )
+        try:
+            for i in range(40):
+                store.insert_many([make_vp(seed=1 + i, minute=0, x0=15.0 * i)])
+                store.flush()
+            adaptive = store.stats().detail["group_commit"]["adaptive"]
+            assert adaptive["shrinks"] >= 1
+            assert store.group_commit_rows == adaptive["rows"] < 64
+            assert store.group_commit_bytes == adaptive["bytes"]
+        finally:
+            store.close()
+
+    def test_fast_commits_grow_the_live_bounds(self):
+        # page-cache-fast commits against a generous 50 ms target: the
+        # controller must amortize more rows per commit, not fewer
+        store = SQLiteStore(group_commit_rows=16, group_commit_target_s=0.050)
+        try:
+            for i in range(40):
+                store.insert_many([make_vp(seed=100 + i, minute=0, x0=15.0 * i)])
+                store.flush()
+            adaptive = store.stats().detail["group_commit"]["adaptive"]
+            assert adaptive["grows"] >= 1
+            assert store.group_commit_rows == adaptive["rows"] > 16
+        finally:
+            store.close()
+
+    def test_target_implies_grouping(self):
+        # a latency target with no explicit row bound must not silently
+        # tune a commit-per-batch store toward nothing: grouping turns
+        # on, seeded with the stock row bound
+        store = SQLiteStore(group_commit_target_s=0.010)
+        try:
+            assert store.group_commit_rows > 0
+            store.insert_many([make_vp(seed=500)])
+            assert store.stats().detail["group_commit"]["pending"] == 1
+            assert "adaptive" in store.stats().detail["group_commit"]
+        finally:
+            store.close()
+
+    def test_large_seed_is_honored_as_ceiling(self):
+        # a seed above the stock ceiling widens the clamp instead of
+        # being silently reduced when the target is enabled
+        store = SQLiteStore(group_commit_rows=100_000, group_commit_target_s=0.050)
+        try:
+            assert store.group_commit_rows == 100_000
+        finally:
+            store.close()
+
+    def test_small_byte_seed_is_honored_as_floor(self):
+        # the byte bound gets the same courtesy as the row bound: an
+        # explicit seed below the stock floor becomes the floor
+        store = SQLiteStore(
+            group_commit_rows=512,
+            group_commit_bytes=4096,
+            group_commit_target_s=0.010,
+        )
+        try:
+            assert store.group_commit_bytes == 4096
+        finally:
+            store.close()
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValidationError):
+            SQLiteStore(group_commit_rows=16, group_commit_target_s=-0.1)
+
+    def test_small_seed_is_honored_as_floor(self):
+        # seeding the group below the stock floor must not silently grow
+        # it: the controller's floor follows the operator's seed down
+        store = SQLiteStore(
+            group_commit_rows=4,
+            group_commit_target_s=0.001,
+            commit_latency_s=0.005,
+        )
+        try:
+            assert store.group_commit_rows == 4
+            for i in range(10):
+                store.insert_many([make_vp(seed=600 + i, minute=0, x0=15.0 * i)])
+                store.flush()
+            assert store.group_commit_rows == 4  # shrunk to the seeded floor
+        finally:
+            store.close()

@@ -20,7 +20,10 @@ from repro.store.codec import (
     decode_vp_batch,
     encode_vp,
     encode_vp_batch,
+    encoded_body_bytes,
+    iter_encoded_records,
     iter_encoded_rows,
+    join_encoded_records,
 )
 from tests.store.conftest import fingerprints, make_vp
 
@@ -80,6 +83,43 @@ def test_encoded_rows_match_storage_metadata(specs):
 
 def test_empty_batch_round_trips():
     assert decode_vp_batch(encode_vp_batch([])) == []
+
+
+@given(specs=vp_specs)
+@settings(max_examples=25, deadline=None)
+def test_record_spans_tile_the_buffer(specs):
+    # spans are contiguous, ordered, and joining ALL of them reproduces
+    # the source buffer byte-for-byte — the zero-decode router's slices
+    # are provably the framed records and nothing else
+    vps = build_corpus(specs)
+    batch = encode_vp_batch(vps)
+    records = list(iter_encoded_records(batch))
+    offset = 5  # version + count header
+    for _row, start, end in records:
+        assert start == offset
+        assert end > start
+        offset = end
+    assert offset == len(batch)
+    assert join_encoded_records(batch, [(s, e) for _, s, e in records]) == batch
+
+
+@given(specs=vp_specs)
+@settings(max_examples=25, deadline=None)
+def test_sliced_sub_batches_decode_to_their_records(specs):
+    # carving alternating records into a new frame preserves exactly
+    # those VPs, in span order — per-shard slicing is lossless
+    vps = build_corpus(specs)
+    batch = encode_vp_batch(vps)
+    records = list(iter_encoded_records(batch))
+    picked = records[::2]
+    sub = join_encoded_records(batch, [(s, e) for _, s, e in picked])
+    assert fingerprints(decode_vp_batch(sub)) == fingerprints(vps[::2])
+
+
+def test_encoded_body_bytes_matches_real_blobs():
+    for n in (1, 4, 60):
+        vp = make_vp(seed=n, n=n)
+        assert len(encode_vp(vp)) == encoded_body_bytes(n)
 
 
 def test_blob_memoized_per_vp():

@@ -7,6 +7,7 @@ runtime regressed by more than the threshold (default 25%).
     python tools/check_bench.py BENCH_pr.json
     python tools/check_bench.py BENCH_pr.json --threshold 0.25
     python tools/check_bench.py BENCH_pr.json --update   # refresh baseline
+    python tools/check_bench.py BENCH_pr.json --summary "$GITHUB_STEP_SUMMARY"
 
 The committed baseline (``benchmarks/BENCH_baseline.json``) is a
 *reduced* form — one ``{median, mean, rounds}`` entry per benchmark —
@@ -20,6 +21,10 @@ Benchmarks present in the run but absent from the baseline (a PR adding
 new benchmarks) WARN instead of failing — their reference numbers do
 not exist yet; pass ``--require-all`` to turn those into failures once
 the baseline has been refreshed on the runner class.
+
+``--summary FILE`` appends a markdown per-entry baseline-vs-run delta
+table to FILE — point it at ``$GITHUB_STEP_SUMMARY`` and the bench job
+renders the comparison directly in the workflow run page.
 
 Exit codes: 0 = within threshold, 1 = regression (or benchmarks missing
 from the run), 2 = usage/input error.
@@ -50,6 +55,62 @@ def reduce_report(report: dict) -> dict[str, dict[str, float]]:
     return reduced
 
 
+def median_ratio(got: dict, base: dict) -> float:
+    """Run-over-baseline median ratio (the gate's one comparator)."""
+    return got["median"] / base["median"] if base["median"] > 0 else float("inf")
+
+
+def verdict(base: dict | None, got: dict | None, threshold: float, require_all: bool) -> str:
+    """The gate's verdict for one benchmark name across baseline ∪ run.
+
+    The single source of truth shared by the console output, the
+    failure list and the markdown summary table — OK / REGRESSED /
+    MISSING / NEW / WARN can never drift between them.
+    """
+    if base is None:
+        return "NEW" if require_all else "WARN"
+    if got is None:
+        return "MISSING"
+    return "REGRESSED" if median_ratio(got, base) > 1.0 + threshold else "OK"
+
+
+def delta_table(
+    baseline: dict, current: dict, threshold: float, require_all: bool
+) -> list[str]:
+    """Markdown lines comparing every entry of either report.
+
+    One row per benchmark name across baseline ∪ run: baseline median,
+    run median, the delta ratio and the status cell — computed by the
+    same :func:`verdict` the exit code is built from.
+    """
+    lines = [
+        "### Benchmark deltas (median vs committed baseline)",
+        "",
+        "| benchmark | baseline | this run | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    notes = {
+        "NEW": "NEW (no baseline; gated by --require-all)",
+        "WARN": "WARN (no baseline yet)",
+    }
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        got = current.get(name)
+        short = name.split("::")[-1]
+        status = verdict(base, got, threshold, require_all)
+        base_cell = "—" if base is None else f"{base['median']:.4f}s"
+        got_cell = "—" if got is None else f"{got['median']:.4f}s"
+        delta = "—"
+        if base is not None and got is not None:
+            delta = f"{100.0 * (median_ratio(got, base) - 1.0):+.1f}%"
+        lines.append(
+            f"| `{short}` | {base_cell} | {got_cell} | {delta} "
+            f"| {notes.get(status, status)} |"
+        )
+    lines.append("")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="pytest-benchmark JSON from this run")
@@ -71,6 +132,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when the run contains benchmarks absent from the "
         "baseline (default: warn only, so a PR adding benchmarks does "
         "not gate on numbers that have no reference yet)",
+    )
+    parser.add_argument(
+        "--summary",
+        default="",
+        metavar="FILE",
+        help="append a markdown baseline-vs-run delta table to FILE "
+        "(e.g. $GITHUB_STEP_SUMMARY); empty disables",
     )
     args = parser.parse_args(argv)
 
@@ -95,31 +163,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
         return 2
 
+    if args.summary:
+        try:
+            with open(args.summary, "a") as fh:
+                fh.write(
+                    "\n".join(
+                        delta_table(baseline, current, args.threshold, args.require_all)
+                    )
+                )
+                fh.write("\n")
+        except OSError as exc:
+            # the table is reporting sugar; never fail the gate over it
+            print(f"cannot write summary {args.summary!r}: {exc}", file=sys.stderr)
+
     failures: list[str] = []
     for name, base in sorted(baseline.items()):
         got = current.get(name)
-        if got is None:
+        marker = verdict(base, got, args.threshold, args.require_all)
+        if marker == "MISSING":
             failures.append(f"MISSING  {name} (in baseline, not in this run)")
             continue
-        ratio = got["median"] / base["median"] if base["median"] > 0 else float("inf")
-        marker = "OK"
-        if ratio > 1.0 + args.threshold:
-            marker = "REGRESSED"
+        ratio = median_ratio(got, base)
+        if marker == "REGRESSED":
             failures.append(
                 f"{marker}  {name}: median {got['median']:.6f}s vs "
                 f"baseline {base['median']:.6f}s ({ratio:.2f}x)"
             )
         print(f"{marker:<10s} {name}  {ratio:.2f}x of baseline")
-    new_names = sorted(set(current) - set(baseline))
-    for name in new_names:
-        # a newly added benchmark has no reference timing yet: warn so
-        # the gap is visible in the log, but do not fail the gate — the
-        # baseline gains the entry at the next --update on the runner
-        # class (enforceable with --require-all once it has)
-        print(f"WARN: no baseline entry for {name} (newly added?); "
-              "regenerate the baseline with --update", file=sys.stderr)
-        if args.require_all:
+    for name in sorted(set(current) - set(baseline)):
+        # a newly added benchmark has no reference timing yet; whether
+        # that warns or fails is the shared verdict's call, and the log
+        # line must say which so authors reach for --update, not a
+        # regression hunt
+        if verdict(None, current[name], args.threshold, args.require_all) == "NEW":
+            print(f"NEW: no baseline entry for {name}; failing under "
+                  "--require-all — regenerate the baseline with --update",
+                  file=sys.stderr)
             failures.append(f"NEW      {name} (in this run, not in baseline)")
+        else:
+            print(f"WARN: no baseline entry for {name} (newly added?); not "
+                  "gating — regenerate the baseline with --update", file=sys.stderr)
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) outside the +{args.threshold:.0%} "
