@@ -75,6 +75,31 @@ def _cmd_fig12(args: argparse.Namespace) -> None:
         print(f"hops {band[0]:>2d}-{band[1]:<2d}  {cells}")
 
 
+def _dump_metrics(path: str, occupancy) -> None:
+    """Write the run's merged metric registry (and percentiles) as JSON.
+
+    The snapshot comes out of the store's ``stats().detail["metrics"]``
+    — for a sharded/procs backend that is already the fleet-wide merge
+    of every shard's (and worker process's) registry.  The file carries
+    both the raw mergeable snapshot and a pre-digested percentile view,
+    so dashboards need no repro import to read p50/p99/p999.
+    """
+    import json
+
+    from repro.obs.metrics import snapshot_percentiles
+
+    snap = occupancy.detail.get("metrics") or {}
+    payload = {
+        "backend": occupancy.backend,
+        "vps": occupancy.vps,
+        "snapshot": snap,
+        "percentiles": snapshot_percentiles(snap),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"metrics written to {path}")
+
+
 def _cmd_fig21(args: argparse.Namespace) -> None:
     from repro.analysis.cityexp import city_viewmap_stats
     from repro.core.export import render_ascii, save_viewmap
@@ -88,6 +113,7 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
         ingest_workers=args.ingest_workers,
         group_commit_rows=args.group_commit_rows,
         group_commit_target_s=args.commit_target_ms / 1e3,
+        slo_p99_ms=args.slo_p99_ms,
     )
     retention = (
         RetentionPolicy(window_minutes=args.retention_minutes)
@@ -100,6 +126,11 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
             store=store, workers=args.workers, retention=retention,
             wire_codec=args.wire_codec,
         )
+        # a fleet-wide count first: reads flush, so every worker's
+        # pending group commit lands (and is measured) before the
+        # snapshot below — otherwise the commits of a short run happen
+        # inside close() and never reach the metrics dump
+        len(store)
         occupancy = store.stats()
     finally:
         # flushes group-commit buffers and stops worker processes — a
@@ -113,6 +144,8 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
     if args.out:
         save_viewmap(vmap, args.out)
         print(f"viewmap exported to {args.out}")
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json, occupancy)
 
 
 COMMANDS = {
@@ -194,6 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="adaptive group-commit flush-latency target in ms for "
             "--store sqlite/procs (0 = fixed sizing; >0 grows/shrinks "
             "the group toward the target from observed commit latency)",
+        )
+        cmd.add_argument(
+            "--slo-p99-ms",
+            type=float,
+            default=0.0,
+            help="commit-latency p99 SLO in ms for --store sqlite/procs "
+            "(overrides --commit-target-ms: the adaptive controller "
+            "steers group sizes on observed p99 against this bound)",
+        )
+        cmd.add_argument(
+            "--metrics-json",
+            type=str,
+            default="",
+            help="write the run's merged per-stage metric registry "
+            "(counters, gauges, latency histograms + percentiles) to "
+            "this JSON file at exit",
         )
         cmd.add_argument(
             "--retention-minutes",

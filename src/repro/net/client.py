@@ -33,6 +33,7 @@ from repro.net.messages import (
     pack_vp_batch_frame,
 )
 from repro.net.onion import OnionNetwork
+from repro.obs.metrics import MetricsRegistry, stage_timer
 from repro.util.rng import make_rng
 
 
@@ -44,6 +45,10 @@ class VehicleClient:
     onion: OnionNetwork
     server_address: str = "viewmap-system"
     rng: random.Random = field(default_factory=random.Random)
+    #: per-request RTT histograms, one stage per message kind
+    #: (``client.rtt.<kind>``); share one registry across a fleet to
+    #: aggregate, or pass ``MetricsRegistry(enabled=False)`` to opt out
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     #: batch upload encoding: "blocks" sends the legacy list of fixed
     #: VP blocks, "frame" sends one zero-decode columnar batch buffer
     #: the authority routes and stores without decoding bodies
@@ -63,11 +68,18 @@ class VehicleClient:
         self.pending_vps.extend(guard_vps)
 
     def _request(self, kind: str, **fields) -> dict:
-        """One anonymous request over a fresh circuit (rotated session)."""
-        circuit = self.onion.build_circuit()
-        payload = encode_message(kind, session=circuit.session_id, **fields)
-        reply = self.onion.anonymous_send(self.server_address, payload, circuit)
-        message = decode_message(reply)
+        """One anonymous request over a fresh circuit (rotated session).
+
+        The single timing point of the client: every request's RTT —
+        circuit build, fabric delivery (including any modeled network
+        latency, which the sleeps fold into wall time), server handling
+        and the reply — lands in the ``client.rtt.<kind>`` histogram.
+        """
+        with stage_timer(self.metrics, f"client.rtt.{kind}"):
+            circuit = self.onion.build_circuit()
+            payload = encode_message(kind, session=circuit.session_id, **fields)
+            reply = self.onion.anonymous_send(self.server_address, payload, circuit)
+            message = decode_message(reply)
         if message["kind"] == "error":
             raise NetworkError(f"server rejected {kind}: {message.get('reason')}")
         return message

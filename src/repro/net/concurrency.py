@@ -38,6 +38,7 @@ from repro.errors import NetworkError, ReproError
 from repro.net.server import MAX_WATERMARK_STEP, ViewMapServer
 from repro.net.server import Handler as MessageHandler
 from repro.net.transport import Endpoint, Handler
+from repro.obs.metrics import MetricsRegistry, stage_timer
 
 #: default worker-pool width — sized for overlapping I/O-bound requests,
 #: not CPU parallelism, so it intentionally exceeds typical core counts
@@ -53,12 +54,20 @@ class ThreadedNetwork:
     privacy probes may read the log while traffic is in flight.
     """
 
-    def __init__(self, workers: int = DEFAULT_WORKERS, latency_s: float = 0.0) -> None:
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        latency_s: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if workers < 1:
             raise NetworkError("a threaded network needs at least one worker")
         self.workers = workers
         #: modeled per-delivery round-trip latency in seconds (0 = instant)
         self.latency_s = latency_s
+        #: per-delivery latency (``net.deliver``, modeled axis =
+        #: ``latency_s``) and pool queue-wait (``net.queue_wait_s``)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: (source, destination, payload_size) triples seen by the fabric
         self.delivery_log: list[tuple[str, str, int]] = []
         self._endpoints: dict[str, Endpoint] = {}
@@ -93,19 +102,34 @@ class ThreadedNetwork:
     # -- delivery ------------------------------------------------------------
 
     def _deliver(self, source: str, destination: str, payload: bytes) -> bytes:
-        """Run one delivery on the current thread (worker or caller)."""
+        """Run one delivery on the current thread (worker or caller).
+
+        One delivery is one ``net.deliver`` observation: the modeled
+        axis is the declared ``latency_s`` (the last-mile model), the
+        wall axis additionally carries the handler's own time.
+        """
         with self._lock:
             endpoint = self._endpoints.get(destination)
         if endpoint is None:
             raise NetworkError(f"no endpoint at {destination}")
-        if self.latency_s > 0.0:
-            time.sleep(self.latency_s)
-        with self._lock:
-            self.delivery_log.append((source, destination, len(payload)))
-        return endpoint.handler(payload)
+        with stage_timer(self.metrics, "net.deliver", modeled_s=self.latency_s):
+            if self.latency_s > 0.0:
+                time.sleep(self.latency_s)
+            with self._lock:
+                self.delivery_log.append((source, destination, len(payload)))
+            return endpoint.handler(payload)
 
-    def _worker_deliver(self, source: str, destination: str, payload: bytes) -> bytes:
-        """Pool entry point: marks the thread so nested sends run inline."""
+    def _worker_deliver(
+        self, source: str, destination: str, payload: bytes, submitted: float
+    ) -> bytes:
+        """Pool entry point: marks the thread so nested sends run inline.
+
+        ``submitted`` is the ``perf_counter`` stamp taken at submission;
+        the gap until this frame runs is the pool queue wait — the
+        congestion term an SLO budget must carry once request arrival
+        outpaces the worker pool (``net.queue_wait_s``).
+        """
+        self.metrics.observe("net.queue_wait_s", time.perf_counter() - submitted)
         self._on_worker.active = True
         try:
             return self._deliver(source, destination, payload)
@@ -141,7 +165,9 @@ class ThreadedNetwork:
             except BaseException as exc:  # propagate through the future
                 done.set_exception(exc)
             return done
-        return self._pool.submit(self._worker_deliver, source, destination, payload)
+        return self._pool.submit(
+            self._worker_deliver, source, destination, payload, time.perf_counter()
+        )
 
     # -- lifecycle -----------------------------------------------------------
 

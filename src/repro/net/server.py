@@ -37,6 +37,7 @@ from repro.net.messages import (
     unpack_vp_batch_frame,
 )
 from repro.net.transport import InMemoryNetwork
+from repro.obs.metrics import MetricsRegistry, stage_timer
 from repro.store.codec import join_encoded_records
 
 Handler = Callable[[dict[str, Any]], bytes]
@@ -65,6 +66,12 @@ class ViewMapServer:
     address: str = "viewmap-system"
     #: session ids observed per request kind (for unlinkability tests)
     session_log: list[tuple[str, str]] = field(default_factory=list)
+    #: per-kind handler latency histograms (``server.handle.<kind>``)
+    #: and upload accept/reject counters.  The handler declares no
+    #: modeled contributions of its own, so the modeled axis equals
+    #: wall time — which already folds in every modeled sleep (network
+    #: delivery, commit charges) taken within the handler's extent
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     _handlers: dict[str, Handler] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -81,7 +88,12 @@ class ViewMapServer:
         self.network.register(self.address, self.handle)
 
     def handle(self, payload: bytes) -> bytes:
-        """Decode, dispatch, and encode one request/response exchange."""
+        """Decode, dispatch, and encode one request/response exchange.
+
+        Every dispatched request lands in the ``server.handle.<kind>``
+        latency histogram — the per-stage breakdown an SLO dashboard
+        reads next to the client-side RTTs.
+        """
         try:
             message = decode_message(payload)
             kind = message["kind"]
@@ -89,7 +101,8 @@ class ViewMapServer:
             handler = self._handlers.get(kind)
             if handler is None:
                 return encode_message("error", reason=f"unknown kind: {kind}")
-            return handler(message)
+            with stage_timer(self.metrics, f"server.handle.{kind}"):
+                return handler(message)
         except ReproError as exc:
             return encode_message("error", reason=str(exc))
 
@@ -149,12 +162,15 @@ class ViewMapServer:
         """
         vp = unpack_view_profile(message["vp"])
         if vp.vp_id in self.system.database:
+            self.metrics.inc("server.upload.rejected")
             return encode_message("ack", accepted=False, reason="duplicate")
         try:
             self.system.ingest_vp(vp)
         except ValidationError:
+            self.metrics.inc("server.upload.rejected")
             return encode_message("ack", accepted=False, reason="duplicate")
         self._observe_minute(vp.minute)
+        self.metrics.inc("server.upload.accepted")
         return encode_message("ack", accepted=True)
 
     def _on_upload_vp_batch(self, message: dict[str, Any]) -> bytes:
@@ -186,6 +202,8 @@ class ViewMapServer:
         inserted = self.system.ingest_vps(fresh)
         if fresh:
             self._observe_minute(max(vp.minute for vp in fresh))
+        self.metrics.inc("server.upload.accepted", len(fresh))
+        self.metrics.inc("server.upload.rejected", len(vps) - len(fresh))
         return encode_message("batch_ack", accepted=accepted, inserted=inserted)
 
     def _ingest_frame(self, frame: bytes) -> bytes:
@@ -219,6 +237,8 @@ class ViewMapServer:
             inserted = 0
         if fresh:
             self._observe_minute(max(rows[i][1] for i in fresh))
+        self.metrics.inc("server.upload.accepted", len(fresh))
+        self.metrics.inc("server.upload.rejected", len(rows) - len(fresh))
         return encode_message("batch_ack", accepted=accepted, inserted=inserted)
 
     def _on_list_solicitations(self, message: dict[str, Any]) -> bytes:

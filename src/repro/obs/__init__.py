@@ -1,0 +1,35 @@
+"""repro.obs — the SLO observability plane (see ``docs/observability.md``).
+
+Per-stage latency histograms with bounded-error percentiles, counters
+and gauges in a thread-safe :class:`MetricsRegistry`, the
+:func:`stage_timer` modeled-vs-wall timing idiom, and cross-process
+snapshot merging (:func:`merge_snapshots`).  Every layer of the stack —
+client, server, network fabric, storage backends, shard worker
+processes — keeps a registry and exposes it through ``stats()`` or a
+``metrics`` attribute; the process-sharded fleet merges its workers'
+snapshots into one fleet-wide view.
+"""
+
+from repro.obs.metrics import (
+    HISTOGRAM_GROWTH,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageTimer,
+    merge_snapshots,
+    snapshot_percentiles,
+    stage_timer,
+)
+
+__all__ = [
+    "HISTOGRAM_GROWTH",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StageTimer",
+    "merge_snapshots",
+    "snapshot_percentiles",
+    "stage_timer",
+]

@@ -4,16 +4,29 @@ The full-fidelity runner (:mod:`repro.sim.runner`) exchanges real view
 digests between agents second by second and produces genuine VPs with
 Bloom filters and hash chains — used for viewmap-structure experiments on
 short windows.  Contact-interval extraction (:mod:`repro.sim.contacts`)
-works directly on traces for Fig. 22c.
+works directly on traces for Fig. 22c.  For ingest *load* experiments,
+:mod:`repro.sim.stream` replaces the whole-corpus materialization with a
+constant-memory generator of wire-ready upload frames
+(:func:`iter_minute_frames`) that scales to million-vehicle bursts.
 """
 
 from repro.sim.runner import SimulationResult, ViewMapSimulation, run_viewmap_simulation
 from repro.sim.contacts import contact_intervals, mean_contact_time
+from repro.sim.stream import (
+    MinuteFrame,
+    iter_minute_frames,
+    iter_minute_vps,
+    iter_upload_payloads,
+)
 
 __all__ = [
+    "MinuteFrame",
     "SimulationResult",
     "ViewMapSimulation",
     "run_viewmap_simulation",
     "contact_intervals",
+    "iter_minute_frames",
+    "iter_minute_vps",
+    "iter_upload_payloads",
     "mean_contact_time",
 ]

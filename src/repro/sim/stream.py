@@ -1,0 +1,154 @@
+"""Constant-memory streaming load generator for ingest experiments.
+
+The full-fidelity runner (:mod:`repro.sim.runner`) materializes the
+whole simulation before anything is ingested: every VP of every minute
+lives in ``SimulationResult.vps_by_minute`` at once, because linkage
+experiments need ground truth attached to the complete corpus.  That is
+the wrong shape for *load* experiments — driving a million-vehicle
+upload burst through the authority should not require a million VPs in
+RAM first.
+
+This module streams instead.  :func:`iter_minute_vps` lazily yields one
+complete, wire-eligible VP per (vehicle, minute) — each materialized on
+demand from a seed-derived :class:`~repro.core.viewdigest.VDGenerator`
+and dropped as soon as the consumer moves on.  :func:`iter_minute_frames`
+chunks that stream into zero-decode upload frames
+(:func:`~repro.net.messages.pack_vp_batch_frame`), and
+:func:`iter_upload_payloads` wraps the frames into ready-to-send
+``upload_vp_batch`` requests.  Peak memory is one frame's worth of VPs
+(``batch_vps``), independent of ``n_vehicles * minutes`` — the knob a
+load test scales into the millions.
+
+Determinism: every VP is a pure function of ``(seed, minute, vehicle)``
+via :func:`~repro.util.rng.derive_seed`, so two streams with the same
+arguments produce byte-identical frames and disjoint seeds produce
+disjoint VP ids — runs are reproducible and populations never collide
+across tags.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.neighbors import NeighborTable
+from repro.core.viewdigest import VDGenerator, make_secret
+from repro.core.viewprofile import ViewProfile, build_view_profile
+from repro.errors import SimulationError
+from repro.geo.geometry import Point
+from repro.net.messages import MAX_VP_BATCH, encode_message, pack_vp_batch_frame
+from repro.util.rng import derive_seed
+
+#: default city edge length the streamed fleet drives inside, metres
+DEFAULT_AREA_M = 10_000.0
+
+#: default VPs per upload frame — a vehicle's typical pending backlog,
+#: well under the protocol's MAX_VP_BATCH bound
+DEFAULT_BATCH_VPS = 16
+
+#: seconds per minute of ticks a complete (wire-eligible) VP carries
+TICKS_PER_MINUTE = 60
+
+
+@dataclass(frozen=True)
+class MinuteFrame:
+    """One streamed upload frame: a minute's slice of the fleet."""
+
+    minute: int
+    n_vps: int
+    frame: bytes
+
+
+def stream_vp(seed: int, minute: int, vehicle: int, area_m: float) -> ViewProfile:
+    """One complete 60-digest VP for a (vehicle, minute) of the stream.
+
+    The vehicle starts each minute at a seed-derived city position and
+    drives a short straight segment while ticking its generator once a
+    second — the cheapest trajectory that still produces genuine hash
+    chains, Bloom filters and bounding boxes (the parts ingest cost
+    depends on).
+    """
+    rng = random.Random(derive_seed(seed, "stream-pos", minute, vehicle))
+    x0 = rng.uniform(0.0, area_m)
+    y0 = rng.uniform(0.0, area_m)
+    gen = VDGenerator(make_secret(derive_seed(seed, "stream-vp", minute, vehicle)))
+    base = minute * float(TICKS_PER_MINUTE)
+    for i in range(TICKS_PER_MINUTE):
+        gen.tick(base + i + 1, Point(x0 + 2.0 * i, y0), b"chunk")
+    return build_view_profile(gen.digests, NeighborTable())
+
+
+def iter_minute_vps(
+    n_vehicles: int,
+    minutes: int,
+    seed: int = 0,
+    area_m: float = DEFAULT_AREA_M,
+) -> Iterator[tuple[int, ViewProfile]]:
+    """Lazily yield ``(minute, vp)`` for every vehicle of every minute.
+
+    Minute-major order (all of minute 0, then minute 1, ...), matching
+    the arrival order an authority sees from a fleet uploading at each
+    minute boundary.  Nothing is retained between yields.
+    """
+    if n_vehicles < 1 or minutes < 1:
+        raise SimulationError("streaming needs n_vehicles >= 1 and minutes >= 1")
+    for minute in range(minutes):
+        for vehicle in range(n_vehicles):
+            yield minute, stream_vp(seed, minute, vehicle, area_m)
+
+
+def iter_minute_frames(
+    n_vehicles: int,
+    minutes: int,
+    seed: int = 0,
+    area_m: float = DEFAULT_AREA_M,
+    batch_vps: int = DEFAULT_BATCH_VPS,
+) -> Iterator[MinuteFrame]:
+    """Stream a fleet's upload burst as zero-decode wire frames.
+
+    Each yielded :class:`MinuteFrame` packs up to ``batch_vps`` VPs of
+    one minute through :func:`~repro.net.messages.pack_vp_batch_frame`
+    — the exact bytes an upgraded client puts on the wire, which the
+    authority routes and stores without decoding a body.  Frames never
+    span minutes, so per-minute ingest assertions stay exact.
+    """
+    if not 1 <= batch_vps <= MAX_VP_BATCH:
+        raise SimulationError(f"batch_vps must be in [1, {MAX_VP_BATCH}]")
+    pending: list[ViewProfile] = []
+    current = 0
+    for minute, vp in iter_minute_vps(n_vehicles, minutes, seed=seed, area_m=area_m):
+        if minute != current and pending:
+            yield MinuteFrame(current, len(pending), pack_vp_batch_frame(pending))
+            pending = []
+        current = minute
+        pending.append(vp)
+        if len(pending) == batch_vps:
+            yield MinuteFrame(current, len(pending), pack_vp_batch_frame(pending))
+            pending = []
+    if pending:
+        yield MinuteFrame(current, len(pending), pack_vp_batch_frame(pending))
+
+
+def iter_upload_payloads(
+    n_vehicles: int,
+    minutes: int,
+    seed: int = 0,
+    area_m: float = DEFAULT_AREA_M,
+    batch_vps: int = DEFAULT_BATCH_VPS,
+) -> Iterator[bytes]:
+    """Stream ready-to-send ``upload_vp_batch`` frame requests.
+
+    One encoded message per :func:`iter_minute_frames` frame, each with
+    a fresh session id (the rotating-session idiom of the anonymous
+    upload protocol).  Feed these straight into a network fabric's
+    ``send``/``send_async``.
+    """
+    for index, mf in enumerate(
+        iter_minute_frames(
+            n_vehicles, minutes, seed=seed, area_m=area_m, batch_vps=batch_vps
+        )
+    ):
+        yield encode_message(
+            "upload_vp_batch", session=f"stream-{seed}-{index}", frame=mf.frame
+        )

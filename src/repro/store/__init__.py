@@ -69,6 +69,7 @@ def make_store(
     ingest_workers: int = 4,
     group_commit_rows: int | None = None,
     group_commit_target_s: float = 0.0,
+    slo_p99_ms: float = 0.0,
     directory: str = "",
 ) -> VPStore:
     """Build a VP store backend from a CLI-style description.
@@ -91,10 +92,19 @@ def make_store(
     shrinks the rows/bytes bounds toward that flush-latency target.  A
     target always implies grouping — the store seeds an unset row
     bound itself, so tuning can never silently target a
-    commit-per-batch store.  ``directory`` names the sharded
-    id-directory snapshot file (cold-start seeding).  All backends are
-    thread-safe (see ``docs/stores.md``).
+    commit-per-batch store.  ``slo_p99_ms`` > 0 declares the commit
+    p99 SLO in milliseconds: it overrides ``group_commit_target_s``,
+    because the adaptive controller's latency target *is* the commit
+    SLO — the controller steers group sizes on the observed p99
+    against exactly this bound (:mod:`repro.store.adaptive`).
+    ``directory`` names the sharded id-directory snapshot file
+    (cold-start seeding).  All backends are thread-safe (see
+    ``docs/stores.md``).
     """
+    if slo_p99_ms < 0:
+        raise ValidationError("slo_p99_ms must be >= 0")
+    if slo_p99_ms:
+        group_commit_target_s = slo_p99_ms / 1000.0
     if kind == "memory":
         return MemoryStore(cell_m=cell_m)
     if kind == "sqlite":

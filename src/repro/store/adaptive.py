@@ -12,14 +12,25 @@ shrink geometrically toward a target flush latency.
 
 Control law (deliberately boring — AIMD-style multiplicative steps):
 
-* EWMA above ``target_latency_s``  -> multiply both bounds by
+* control signal above ``target_latency_s``  -> multiply both bounds by
   ``shrink_factor`` (< 1): groups are taking too long to land, so cap
   them sooner and bound the data a crash could lose;
-* EWMA below ``grow_below * target_latency_s`` -> multiply by
+* control signal below ``grow_below * target_latency_s`` -> multiply by
   ``grow_factor`` (> 1): commits are cheap, so amortize more rows per
   fsync;
 * in between -> hold.  The dead band keeps the controller from
   oscillating around the target.
+
+The control signal is the **observed commit-latency p99** once enough
+samples exist (``min_p99_samples``), with the EWMA mean as the warm-up
+fallback — a mean-steered controller happily grows groups whose tail
+already blows the SLO, because one slow commit in a hundred barely
+moves the average.  The p99 comes from a log-bucketed
+:class:`~repro.obs.metrics.Histogram` over a sliding two-epoch window
+(``p99_window`` observations per epoch): the current epoch plus the
+previous one, so the percentile always rests on a bounded, recent
+population and a long-gone latency spike cannot pin the bounds small
+forever.
 
 Bounds are clamped to ``[min_rows, max_rows]`` / ``[min_bytes,
 max_bytes]`` so a latency spike can never disable grouping entirely
@@ -33,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
+from repro.obs.metrics import Histogram
 
 #: default target flush latency — one group should land in about the
 #: time a production fsync-class commit takes, so grouping amortizes a
@@ -54,6 +66,14 @@ DEFAULT_MAX_BYTES = 64 << 20
 #: EWMA weight of the newest observation (higher = reacts faster)
 DEFAULT_EWMA_ALPHA = 0.3
 
+#: observations before the controller trusts the p99 over the EWMA —
+#: a percentile over a handful of samples is noise, not a tail
+DEFAULT_MIN_P99_SAMPLES = 32
+
+#: observations per histogram epoch; the controller steers on the
+#: current + previous epoch, so the p99 rests on at most 2x this window
+DEFAULT_P99_WINDOW = 128
+
 
 @dataclass
 class GroupCommitController:
@@ -70,11 +90,17 @@ class GroupCommitController:
     grow_factor: float = DEFAULT_GROW_FACTOR
     shrink_factor: float = DEFAULT_SHRINK_FACTOR
     grow_below: float = DEFAULT_GROW_BELOW
+    min_p99_samples: int = DEFAULT_MIN_P99_SAMPLES
+    p99_window: int = DEFAULT_P99_WINDOW
     #: smoothed commit latency; None until the first observation
     ewma_latency_s: float | None = field(default=None, init=False)
     observations: int = field(default=0, init=False)
     grows: int = field(default=0, init=False)
     shrinks: int = field(default=0, init=False)
+    #: which signal steered the last observation: "p99" or "ewma"
+    mode: str = field(default="ewma", init=False)
+    _current: Histogram = field(default_factory=Histogram, init=False, repr=False)
+    _previous: Histogram | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.target_latency_s <= 0:
@@ -91,6 +117,8 @@ class GroupCommitController:
             raise ValidationError("need 1 <= min_rows <= max_rows")
         if not 1 <= self.min_bytes <= self.max_bytes:
             raise ValidationError("need 1 <= min_bytes <= max_bytes")
+        if self.min_p99_samples < 1 or self.p99_window < 1:
+            raise ValidationError("min_p99_samples and p99_window must be >= 1")
         self.rows = self._clamp(self.rows, self.min_rows, self.max_rows)
         self.group_bytes = self._clamp(self.group_bytes, self.min_bytes, self.max_bytes)
 
@@ -98,12 +126,21 @@ class GroupCommitController:
     def _clamp(value: int, lo: int, hi: int) -> int:
         return max(lo, min(hi, value))
 
+    def _window(self) -> Histogram:
+        """The sliding commit-latency window (current + previous epoch)."""
+        if self._previous is None:
+            return self._current
+        return self._previous.copy().merge(self._current)
+
     def observe(self, commit_latency_s: float) -> None:
         """Fold one flush's commit latency in and re-size the bounds.
 
         Called by the store after every group commit, with the wall
         time the transaction (including any modeled durability cost)
-        took to land.
+        took to land.  Steers on the windowed commit-latency p99 vs the
+        target SLO once ``min_p99_samples`` observations exist; below
+        that, on the EWMA mean (a percentile over a handful of samples
+        is noise).
         """
         self.observations += 1
         if self.ewma_latency_s is None:
@@ -112,10 +149,21 @@ class GroupCommitController:
             self.ewma_latency_s += self.ewma_alpha * (
                 commit_latency_s - self.ewma_latency_s
             )
-        if self.ewma_latency_s > self.target_latency_s:
+        self._current.record(commit_latency_s)
+        if self._current.count >= self.p99_window:
+            self._previous = self._current
+            self._current = Histogram()
+        window = self._window()
+        if window.count >= self.min_p99_samples:
+            signal = window.p99
+            self.mode = "p99"
+        else:
+            signal = self.ewma_latency_s
+            self.mode = "ewma"
+        if signal > self.target_latency_s:
             factor = self.shrink_factor
             self.shrinks += 1
-        elif self.ewma_latency_s < self.grow_below * self.target_latency_s:
+        elif signal < self.grow_below * self.target_latency_s:
             factor = self.grow_factor
             self.grows += 1
         else:
@@ -129,9 +177,16 @@ class GroupCommitController:
 
     def snapshot(self) -> dict:
         """Stats counters for dashboards (store ``stats()`` detail)."""
+        window = self._window()
+        empty = window.count == 0
         return {
             "target_s": self.target_latency_s,
             "ewma_s": self.ewma_latency_s,
+            "mode": self.mode,
+            "p50_s": None if empty else window.p50,
+            "p99_s": None if empty else window.p99,
+            "p999_s": None if empty else window.p999,
+            "window_observations": window.count,
             "rows": self.rows,
             "bytes": self.group_bytes,
             "observations": self.observations,

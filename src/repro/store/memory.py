@@ -24,6 +24,7 @@ from typing import Iterable
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
 from repro.geo.geometry import Point, Rect
+from repro.obs.metrics import MetricsRegistry, stage_timer
 from repro.store.base import DUPLICATE_ID_MESSAGE, StoreStats, VPStore
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
 
@@ -33,8 +34,14 @@ class MemoryStore(VPStore):
 
     kind = "memory"
 
-    def __init__(self, cell_m: float = DEFAULT_CELL_M) -> None:
+    def __init__(
+        self,
+        cell_m: float = DEFAULT_CELL_M,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.cell_m = cell_m
+        #: per-stage latency instrumentation (see ``docs/observability.md``)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.RLock()
         self._by_id: dict[bytes, ViewProfile] = {}
         self._by_minute: dict[int, list[ViewProfile]] = defaultdict(list)
@@ -61,7 +68,7 @@ class MemoryStore(VPStore):
 
     def insert_many(self, vps: Iterable[ViewProfile]) -> int:
         """Atomically batch-ingest VPs, skipping duplicates."""
-        with self._lock:
+        with stage_timer(self.metrics, "store.insert"), self._lock:
             return super().insert_many(vps)
 
     # -- point reads -------------------------------------------------------
@@ -105,7 +112,7 @@ class MemoryStore(VPStore):
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
-        with self._lock:
+        with stage_timer(self.metrics, "store.query"), self._lock:
             grid = self._grids.get(minute)
             if grid is None:
                 return []
@@ -134,7 +141,7 @@ class MemoryStore(VPStore):
         the survivors in their original insertion order), so an active
         investigation's seeds outlive the watermark.
         """
-        with self._lock:
+        with stage_timer(self.metrics, "store.evict"), self._lock:
             evicted = 0
             for m in [m for m in self._by_minute if m < minute]:
                 bucket = self._by_minute.pop(m)
@@ -179,5 +186,6 @@ class MemoryStore(VPStore):
                 detail={
                     "cell_m": self.cell_m,
                     "grid_cells": sum(g.n_cells for g in self._grids.values()),
+                    "metrics": self.metrics.snapshot(),
                 },
             )

@@ -62,6 +62,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
 from repro.geo.geometry import Rect
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, stage_timer
 from repro.store.base import (
     DUPLICATE_ID_MESSAGE,
     StoreStats,
@@ -99,6 +100,7 @@ class ShardedStore(VPStore):
         shard_cells: int = 1,
         route_cell_m: float = DEFAULT_ROUTE_CELL_M,
         directory: str = "",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """Wrap an ordered shard fleet.
 
@@ -122,6 +124,9 @@ class ShardedStore(VPStore):
         self.shards = list(shards)
         self.shard_cells = shard_cells
         self.route_cell_m = route_cell_m
+        #: the routing tier's own registry; ``stats()`` merges it with
+        #: every shard's shipped snapshot into ``detail["metrics"]``
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if fanout_workers is None:
             fanout_workers = min(len(self.shards), MAX_FANOUT_WORKERS)
         self.fanout_workers = fanout_workers
@@ -475,19 +480,20 @@ class ShardedStore(VPStore):
         callers walk the fleet out of phase instead of convoying on one
         writer lock.
         """
-        fresh = self._reserve(list(vps))
-        try:
-            by_shard: dict[int, list[ViewProfile]] = {}
-            for vp in fresh:
-                by_shard.setdefault(self._shard_index(vp), []).append(vp)
-            inserted = self._fanout_insert(
-                by_shard, lambda shard, batch: shard.insert_many(batch)
-            )
-        except BaseException:
-            self._release_after_failure(fresh)
-            raise
-        self._release_pairs([(vp.vp_id, vp.minute) for vp in fresh], stored=True)
-        return inserted
+        with stage_timer(self.metrics, "route.insert"):
+            fresh = self._reserve(list(vps))
+            try:
+                by_shard: dict[int, list[ViewProfile]] = {}
+                for vp in fresh:
+                    by_shard.setdefault(self._shard_index(vp), []).append(vp)
+                inserted = self._fanout_insert(
+                    by_shard, lambda shard, batch: shard.insert_many(batch)
+                )
+            except BaseException:
+                self._release_after_failure(fresh)
+                raise
+            self._release_pairs([(vp.vp_id, vp.minute) for vp in fresh], stored=True)
+            return inserted
 
     def _fanout_insert(
         self, by_shard: dict[int, _T], submit: Callable[[VPStore, _T], int]
@@ -542,34 +548,37 @@ class ShardedStore(VPStore):
         routes entirely to one shard forwards the original buffer
         untouched.
         """
-        records = list(iter_encoded_meta(batch))
-        pairs = [(bytes(row[0]), row[1]) for row, _start, _end in records]
-        fresh = self._reserve_pairs(pairs)
-        if strict and len(fresh) != len(pairs):
-            self._release_pairs([pairs[i] for i in fresh], stored=False)
-            raise ValidationError(DUPLICATE_ID_MESSAGE)
-        claimed = [pairs[i] for i in fresh]
-        try:
-            by_shard: dict[int, list[int]] = {}
-            for i in fresh:
-                by_shard.setdefault(self._shard_index_row(records[i][0]), []).append(i)
-            if len(fresh) == len(records) and len(by_shard) == 1:
-                frames = {next(iter(by_shard)): batch}  # pass-through, no copy
-            else:
-                frames = {
-                    idx: join_encoded_records(
-                        batch, [(records[i][1], records[i][2]) for i in indices]
-                    )
-                    for idx, indices in by_shard.items()
-                }
-            inserted = self._fanout_insert(
-                frames, lambda shard, buf: shard.insert_encoded(buf, strict=strict)
-            )
-        except BaseException:
-            self._release_failed_pairs(claimed)
-            raise
-        self._release_pairs(claimed, stored=True)
-        return inserted
+        with stage_timer(self.metrics, "route.insert"):
+            records = list(iter_encoded_meta(batch))
+            pairs = [(bytes(row[0]), row[1]) for row, _start, _end in records]
+            fresh = self._reserve_pairs(pairs)
+            if strict and len(fresh) != len(pairs):
+                self._release_pairs([pairs[i] for i in fresh], stored=False)
+                raise ValidationError(DUPLICATE_ID_MESSAGE)
+            claimed = [pairs[i] for i in fresh]
+            try:
+                by_shard: dict[int, list[int]] = {}
+                for i in fresh:
+                    by_shard.setdefault(
+                        self._shard_index_row(records[i][0]), []
+                    ).append(i)
+                if len(fresh) == len(records) and len(by_shard) == 1:
+                    frames = {next(iter(by_shard)): batch}  # pass-through, no copy
+                else:
+                    frames = {
+                        idx: join_encoded_records(
+                            batch, [(records[i][1], records[i][2]) for i in indices]
+                        )
+                        for idx, indices in by_shard.items()
+                    }
+                inserted = self._fanout_insert(
+                    frames, lambda shard, buf: shard.insert_encoded(buf, strict=strict)
+                )
+            except BaseException:
+                self._release_failed_pairs(claimed)
+                raise
+            self._release_pairs(claimed, stored=True)
+            return inserted
 
     def existing_ids(self, vp_ids: Iterable[bytes]) -> set[bytes]:
         """Which of these identifiers are stored on any shard.
@@ -756,8 +765,27 @@ class ShardedStore(VPStore):
         return {"shards": self._map_shards(lambda shard: shard.compact())}
 
     def stats(self) -> StoreStats:
-        """Fleet-wide occupancy with per-shard detail."""
+        """Fleet-wide occupancy with per-shard detail.
+
+        Beyond the summed counters, the detail surfaces per-shard
+        *skew*: ``shard_load`` max/min gauges (and their imbalance
+        ratio) make a hot shard visible where a fleet-wide sum would
+        average it away.  ``detail["metrics"]`` is the fleet-wide merged
+        metric snapshot — the routing tier's own registry folded with
+        every shard's shipped snapshot (for process-backed shards, the
+        snapshot crosses the worker pipe inside the shard's ``stats``
+        reply), so per-stage histograms aggregate across all worker
+        processes.
+        """
         per_shard = [shard.stats() for shard in self.shards]
+        shard_vps = [s.vps for s in per_shard]
+        load_max, load_min = max(shard_vps), min(shard_vps)
+        self.metrics.set_gauge("shards.load_max", load_max)
+        self.metrics.set_gauge("shards.load_min", load_min)
+        merged = merge_snapshots(
+            [self.metrics.snapshot()]
+            + [s.detail.get("metrics") or {} for s in per_shard]
+        )
         return StoreStats(
             backend=self.kind,
             vps=sum(s.vps for s in per_shard),
@@ -769,7 +797,13 @@ class ShardedStore(VPStore):
                 "shard_cells": self.shard_cells,
                 "route_cell_m": self.route_cell_m,
                 "shard_backends": [s.backend for s in per_shard],
-                "shard_vps": [s.vps for s in per_shard],
+                "shard_vps": shard_vps,
+                "shard_load": {
+                    "max": load_max,
+                    "min": load_min,
+                    "imbalance": load_max / load_min if load_min else float(load_max),
+                },
+                "metrics": merged,
             },
         )
 

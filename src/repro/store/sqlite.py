@@ -75,6 +75,7 @@ from typing import Iterable
 from repro.core.viewprofile import ViewProfile
 from repro.errors import StorageError, ValidationError
 from repro.geo.geometry import Rect
+from repro.obs.metrics import MetricsRegistry, stage_timer
 from repro.store.adaptive import (
     DEFAULT_MAX_BYTES,
     DEFAULT_MAX_ROWS,
@@ -175,6 +176,7 @@ class SQLiteStore(VPStore):
         group_commit_latency_s: float = DEFAULT_GROUP_COMMIT_LATENCY_S,
         group_commit_target_s: float = 0.0,
         commit_latency_s: float = 0.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if group_commit_rows < 0 or group_commit_bytes < 1 or group_commit_latency_s < 0:
             raise ValidationError(
@@ -187,6 +189,9 @@ class SQLiteStore(VPStore):
         self.path = path
         self.decode_cache = decode_cache
         self.cached_statements = cached_statements
+        #: per-stage latency instrumentation (see ``docs/observability.md``);
+        #: pass a disabled registry to price the store without it
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: rows per group commit; 0 disables grouping (commit per call)
         self.group_commit_rows = group_commit_rows
         self.group_commit_bytes = group_commit_bytes
@@ -382,14 +387,16 @@ class SQLiteStore(VPStore):
         if not self._pending:
             return
         conn = self._conn
-        t0 = time.perf_counter() if self._adaptive is not None else 0.0
-        with conn:
-            conn.executemany(_INSERT_OR_IGNORE, self._pending.values())
-        self._charge_commit()
+        with stage_timer(self.metrics, "store.commit", modeled_s=self.commit_latency_s):
+            t0 = time.perf_counter()
+            with conn:
+                conn.executemany(_INSERT_OR_IGNORE, self._pending.values())
+            self._charge_commit()
+            commit_latency = time.perf_counter() - t0
         if self._adaptive is not None:
             # the controller sees the full durability cost (modeled
             # fsync included) and re-sizes the live bounds in place
-            self._adaptive.observe(time.perf_counter() - t0)
+            self._adaptive.observe(commit_latency)
             self.group_commit_rows = self._adaptive.rows
             self.group_commit_bytes = self._adaptive.group_bytes
         self._grouped_rows += len(self._pending)
@@ -496,16 +503,19 @@ class SQLiteStore(VPStore):
         group commit enabled, admitted to the pending group and
         committed together with neighbouring batches.
         """
-        rows = [self._row_of(vp) for vp in vps]
-        with self._write_lock:
-            if self.group_commit_rows > 0:
-                return self._enqueue_rows(rows, strict=False)
-            conn = self._conn
-            before = conn.total_changes
-            with conn:
-                conn.executemany(_INSERT_OR_IGNORE, rows)
-            self._charge_commit()
-            return conn.total_changes - before
+        with stage_timer(self.metrics, "store.insert") as timing:
+            rows = [self._row_of(vp) for vp in vps]
+            with self._write_lock:
+                if self.group_commit_rows > 0:
+                    return self._enqueue_rows(rows, strict=False)
+                conn = self._conn
+                before = conn.total_changes
+                with conn:
+                    conn.executemany(_INSERT_OR_IGNORE, rows)
+                self._charge_commit()
+                if self.commit_latency_s:
+                    timing.add_modeled(self.commit_latency_s)
+                return conn.total_changes - before
 
     def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
         """Batch-ingest from a codec batch buffer without decoding bodies.
@@ -518,25 +528,28 @@ class SQLiteStore(VPStore):
         raise ``ValidationError`` (single-insert semantics); otherwise
         they are skipped and the newly stored count is returned.
         """
-        rows = [
-            (bytes(vp_id), minute, trusted, x0, y0, x1, y1, bytes(body))
-            for vp_id, minute, trusted, x0, y0, x1, y1, body in iter_encoded_rows(batch)
-        ]
-        with self._write_lock:
-            if self.group_commit_rows > 0:
-                return self._enqueue_rows(rows, strict=strict)
-            conn = self._conn
-            before = conn.total_changes
-            try:
-                with conn:
-                    if strict:
-                        conn.executemany(_INSERT, rows)
-                    else:
-                        conn.executemany(_INSERT_OR_IGNORE, rows)
-            except sqlite3.IntegrityError as exc:
-                raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
-            self._charge_commit()
-            return conn.total_changes - before
+        with stage_timer(self.metrics, "store.insert") as timing:
+            rows = [
+                (bytes(vp_id), minute, trusted, x0, y0, x1, y1, bytes(body))
+                for vp_id, minute, trusted, x0, y0, x1, y1, body in iter_encoded_rows(batch)
+            ]
+            with self._write_lock:
+                if self.group_commit_rows > 0:
+                    return self._enqueue_rows(rows, strict=strict)
+                conn = self._conn
+                before = conn.total_changes
+                try:
+                    with conn:
+                        if strict:
+                            conn.executemany(_INSERT, rows)
+                        else:
+                            conn.executemany(_INSERT_OR_IGNORE, rows)
+                except sqlite3.IntegrityError as exc:
+                    raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+                self._charge_commit()
+                if self.commit_latency_s:
+                    timing.add_modeled(self.commit_latency_s)
+                return conn.total_changes - before
 
     def _probe_ids(self, vp_ids: list[bytes]) -> set[bytes]:
         """Which of these ids have table rows (pending buffer NOT consulted)."""
@@ -629,11 +642,12 @@ class SQLiteStore(VPStore):
 
     def by_minute(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute, in insertion order."""
-        self._flush_for_read()
-        epoch = self._cache_epoch()
-        with self._read_guard:
-            rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
-        return [self._vp_of(*row, epoch=epoch) for row in rows]
+        with stage_timer(self.metrics, "store.query"):
+            self._flush_for_read()
+            epoch = self._cache_epoch()
+            with self._read_guard:
+                rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
+            return [self._vp_of(*row, epoch=epoch) for row in rows]
 
     def count_by_minute(self, minute: int) -> int:
         """How many VPs cover one minute (index-only count)."""
@@ -647,15 +661,16 @@ class SQLiteStore(VPStore):
         The bbox index prunes candidates; each surviving row is decoded
         (cache-assisted) and exact-checked per claimed position.
         """
-        self._flush_for_read()
-        epoch = self._cache_epoch()
-        with self._read_guard:
-            rows = self._conn.execute(
-                _BY_MINUTE_IN_AREA,
-                (minute, area.x_min, area.x_max, area.y_min, area.y_max),
-            ).fetchall()
-        candidates = (self._vp_of(*row, epoch=epoch) for row in rows)
-        return [vp for vp in candidates if vp_claims_in_area(vp, area)]
+        with stage_timer(self.metrics, "store.query"):
+            self._flush_for_read()
+            epoch = self._cache_epoch()
+            with self._read_guard:
+                rows = self._conn.execute(
+                    _BY_MINUTE_IN_AREA,
+                    (minute, area.x_min, area.x_max, area.y_min, area.y_max),
+                ).fetchall()
+            candidates = (self._vp_of(*row, epoch=epoch) for row in rows)
+            return [vp for vp in candidates if vp_claims_in_area(vp, area)]
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
         """Trusted VPs of one minute, in insertion order."""
@@ -682,7 +697,7 @@ class SQLiteStore(VPStore):
         rows (investigation seeds) past the cutoff — the retention
         contract of ``RetentionPolicy(pin_trusted=True)``.
         """
-        with self._write_lock:
+        with stage_timer(self.metrics, "store.evict"), self._write_lock:
             self._flush_locked()
             conn = self._conn
             with conn:
@@ -805,6 +820,7 @@ class SQLiteStore(VPStore):
                 "connections": n_conns,
                 "decode_cache": cache,
                 "group_commit": group,
+                "metrics": self.metrics.snapshot(),
             },
         )
 

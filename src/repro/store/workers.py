@@ -52,6 +52,7 @@ from repro.geo.geometry import Rect
 from repro.store.base import StoreStats, VPStore
 from repro.store.codec import decode_vp_batch, encode_vp_batch
 from repro.util.encoding import unpack_uint
+from repro.obs.metrics import MetricsRegistry
 from repro.store.grid import DEFAULT_CELL_M
 from repro.store.memory import MemoryStore
 from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
@@ -83,10 +84,17 @@ def _default_context() -> multiprocessing.context.BaseContext:
 
 
 def _build_worker_store(spec: dict) -> VPStore:
-    """Instantiate the worker's real backend from its spec dict."""
+    """Instantiate the worker's real backend from its spec dict.
+
+    ``spec["metrics"]`` (default True) toggles the worker-local
+    :class:`~repro.obs.metrics.MetricsRegistry` — each worker records
+    its own per-stage histograms and ships snapshots back over the
+    command loop (the ``metrics`` op, and piggybacked on ``stats``).
+    """
     kind = spec.get("kind")
+    metrics = MetricsRegistry(enabled=bool(spec.get("metrics", True)))
     if kind == "memory":
-        return MemoryStore(cell_m=spec.get("cell_m", DEFAULT_CELL_M))
+        return MemoryStore(cell_m=spec.get("cell_m", DEFAULT_CELL_M), metrics=metrics)
     if kind == "sqlite":
         return SQLiteStore(
             spec.get("path", ":memory:"),
@@ -98,6 +106,7 @@ def _build_worker_store(spec: dict) -> VPStore:
             ),
             group_commit_target_s=spec.get("group_commit_target_s", 0.0),
             commit_latency_s=spec.get("commit_latency_s", 0.0),
+            metrics=metrics,
         )
     raise StorageError(f"unknown worker backend kind {spec.get('kind')!r}")
 
@@ -139,6 +148,11 @@ def _dispatch(store: VPStore, request: tuple) -> object:
         return store.compact()
     if op == "stats":
         return store.stats()
+    if op == "metrics":
+        # light-weight metric poll: the snapshot alone, without the
+        # occupancy scan a full ``stats`` performs
+        registry = getattr(store, "metrics", None)
+        return registry.snapshot() if registry is not None else {}
     if op == "ping":
         return "pong"
     raise StorageError(f"unknown worker op {op!r}")
@@ -367,6 +381,10 @@ class WorkerShard(VPStore):
         """Run backend compaction inside the worker; returns its gauges."""
         return self._request("compact")
 
+    def metrics_snapshot(self) -> dict:
+        """The worker's metric registry snapshot (one light round-trip)."""
+        return self._request("metrics")
+
     def stats(self) -> StoreStats:
         """The backend's own snapshot, annotated with the worker pid."""
         inner: StoreStats = self._request("stats")
@@ -434,11 +452,13 @@ class ProcessShardedStore(ShardedStore):
         directory: str = "",
         mp_context: str = "",
         op_timeout_s: float = DEFAULT_OP_TIMEOUT_S,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """Start one worker per spec dict and wrap them as a fleet.
 
         ``specs`` entries are ``{"kind": "memory"|"sqlite", ...}`` as
-        accepted by the worker loop; ``mp_context`` forces a start
+        accepted by the worker loop (a ``"metrics": False`` entry turns
+        that worker's registry off); ``mp_context`` forces a start
         method (default: ``fork`` on Linux, ``spawn`` elsewhere);
         ``op_timeout_s`` bounds every worker round-trip.  Remaining
         parameters are the sharded wrapper's.
@@ -458,6 +478,7 @@ class ProcessShardedStore(ShardedStore):
                 shard_cells=shard_cells,
                 route_cell_m=route_cell_m,
                 directory=directory,
+                metrics=metrics,
             )
         except BaseException:
             for worker in workers:
@@ -471,10 +492,14 @@ class ProcessShardedStore(ShardedStore):
         cell_m: float = DEFAULT_CELL_M,
         shard_cells: int = 1,
         route_cell_m: float = DEFAULT_ROUTE_CELL_M,
+        metrics_enabled: bool = True,
         **kwargs: object,
     ) -> "ProcessShardedStore":
         """A fleet of in-memory worker processes (volatile)."""
-        specs = [{"kind": "memory", "cell_m": cell_m} for _ in range(n_workers)]
+        specs = [
+            {"kind": "memory", "cell_m": cell_m, "metrics": metrics_enabled}
+            for _ in range(n_workers)
+        ]
         return cls(specs, shard_cells=shard_cells, route_cell_m=route_cell_m, **kwargs)
 
     @classmethod
@@ -488,6 +513,7 @@ class ProcessShardedStore(ShardedStore):
         group_commit_target_s: float = 0.0,
         commit_latency_s: float = 0.0,
         directory: str = "",
+        metrics_enabled: bool = True,
         **kwargs: object,
     ) -> "ProcessShardedStore":
         """A durable fleet: one SQLite worker process per database file.
@@ -510,6 +536,7 @@ class ProcessShardedStore(ShardedStore):
                 "group_commit_latency_s": group_commit_latency_s,
                 "group_commit_target_s": group_commit_target_s,
                 "commit_latency_s": commit_latency_s,
+                "metrics": metrics_enabled,
             }
             for path in paths
         ]
@@ -524,3 +551,15 @@ class ProcessShardedStore(ShardedStore):
     def worker_pids(self) -> list[int | None]:
         """The worker process ids, in shard order."""
         return [shard.worker_pid for shard in self.shards]  # type: ignore[attr-defined]
+
+    def worker_metrics(self) -> list[dict]:
+        """Every worker's registry snapshot, in shard order.
+
+        Lighter than ``stats()``: each snapshot is one ``metrics`` op
+        round-trip, no occupancy scan.  Merge them with
+        :func:`~repro.obs.metrics.merge_snapshots` for a fleet view.
+        """
+        return [
+            shard.metrics_snapshot()  # type: ignore[attr-defined]
+            for shard in self.shards
+        ]

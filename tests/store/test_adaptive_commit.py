@@ -75,6 +75,55 @@ class TestControlLaw:
         assert ctl.rows < 512
 
 
+class TestP99Steering:
+    def test_ewma_mode_until_min_samples(self):
+        ctl = make_controller(min_p99_samples=20)
+        for _ in range(19):
+            ctl.observe(0.006)
+        assert ctl.mode == "ewma"
+        ctl.observe(0.006)
+        assert ctl.mode == "p99"
+
+    def test_tail_shrinks_where_the_mean_would_not(self):
+        # 2% of commits blow the target while the smoothed mean sits in
+        # the dead band: a mean-steered controller would hold (and keep
+        # growing the crash window); the p99 signal must shrink
+        ctl = make_controller(ewma_alpha=0.05, min_p99_samples=20)
+        for i in range(100):
+            ctl.observe(0.050 if i % 50 == 10 else 0.006)
+        assert ctl.mode == "p99"
+        assert ctl.ewma_latency_s < ctl.target_latency_s  # mean never alarmed
+        assert ctl.shrinks >= 1
+        assert ctl.rows < 512
+
+    def test_window_population_is_bounded(self):
+        # two epochs at most: a long run cannot accumulate an unbounded
+        # histogram, and the p99 always rests on recent commits
+        ctl = make_controller(p99_window=8)
+        for _ in range(100):
+            ctl.observe(0.006)
+        assert ctl.snapshot()["window_observations"] <= 16
+
+    def test_old_spike_ages_out_of_the_window(self):
+        # a latency spike early in the run must not pin the p99 high
+        # forever: after two full epochs of fast commits the window
+        # holds only fast samples again
+        ctl = make_controller(min_p99_samples=4, p99_window=8)
+        for _ in range(4):
+            ctl.observe(0.500)
+        for _ in range(16):
+            ctl.observe(0.002)
+        assert ctl.snapshot()["p99_s"] < ctl.target_latency_s
+
+    def test_snapshot_percentiles_none_while_empty(self):
+        snap = make_controller().snapshot()
+        assert snap["p50_s"] is None
+        assert snap["p99_s"] is None
+        assert snap["p999_s"] is None
+        assert snap["window_observations"] == 0
+        assert snap["mode"] == "ewma"
+
+
 class TestBounds:
     def test_shrink_clamps_at_min(self):
         ctl = make_controller()

@@ -43,15 +43,27 @@ DEFAULT_THRESHOLD = 0.25
 
 
 def reduce_report(report: dict) -> dict[str, dict[str, float]]:
-    """Map one pytest-benchmark JSON report to {name: reduced stats}."""
+    """Map one pytest-benchmark JSON report to {name: reduced stats}.
+
+    A benchmark that shipped per-stage latency percentiles through
+    ``benchmark.extra_info["percentiles"]`` (a ``{stage: {count, mean,
+    p50, p99, p999}}`` payload, see ``benchmarks/test_slo_observability``)
+    keeps them in the reduced entry, so ``--update`` persists them into
+    the baseline and the summary table can render the percentile
+    columns next to the medians.
+    """
     reduced = {}
     for bench in report.get("benchmarks", []):
         stats = bench["stats"]
-        reduced[bench["fullname"]] = {
+        entry = {
             "median": stats["median"],
             "mean": stats["mean"],
             "rounds": stats["rounds"],
         }
+        percentiles = (bench.get("extra_info") or {}).get("percentiles")
+        if percentiles:
+            entry["percentiles"] = percentiles
+        reduced[bench["fullname"]] = entry
     return reduced
 
 
@@ -74,6 +86,13 @@ def verdict(base: dict | None, got: dict | None, threshold: float, require_all: 
     return "REGRESSED" if median_ratio(got, base) > 1.0 + threshold else "OK"
 
 
+def _fmt_p(row: dict | None, key: str) -> str:
+    """One percentile cell, rendered in milliseconds."""
+    if not isinstance(row, dict) or row.get(key) is None:
+        return "—"
+    return f"{1e3 * row[key]:.1f}ms"
+
+
 def delta_table(
     baseline: dict, current: dict, threshold: float, require_all: bool
 ) -> list[str]:
@@ -81,13 +100,24 @@ def delta_table(
 
     One row per benchmark name across baseline ∪ run: baseline median,
     run median, the delta ratio and the status cell — computed by the
-    same :func:`verdict` the exit code is built from.
+    same :func:`verdict` the exit code is built from.  A benchmark that
+    carries a percentile payload additionally renders one indented
+    sub-row per instrumented stage with this run's p50/p99/p999 (the
+    baseline's if the stage vanished from the run), so tail-latency
+    shifts show up in the same table as throughput medians.
     """
+    has_percentiles = any(
+        (entry or {}).get("percentiles")
+        for entry in list(baseline.values()) + list(current.values())
+    )
+    p_head = " p50 | p99 | p999 |" if has_percentiles else ""
+    p_rule = " ---:| ---:| ---:|" if has_percentiles else ""
+    p_blank = " — | — | — |" if has_percentiles else ""
     lines = [
         "### Benchmark deltas (median vs committed baseline)",
         "",
-        "| benchmark | baseline | this run | delta | status |",
-        "|---|---:|---:|---:|---|",
+        f"| benchmark | baseline | this run | delta | status |{p_head}",
+        f"|---|---:|---:|---:|---|{p_rule}",
     ]
     notes = {
         "NEW": "NEW (no baseline; gated by --require-all)",
@@ -105,8 +135,17 @@ def delta_table(
             delta = f"{100.0 * (median_ratio(got, base) - 1.0):+.1f}%"
         lines.append(
             f"| `{short}` | {base_cell} | {got_cell} | {delta} "
-            f"| {notes.get(status, status)} |"
+            f"| {notes.get(status, status)} |{p_blank}"
         )
+        stages = dict((base or {}).get("percentiles") or {})
+        stages.update((got or {}).get("percentiles") or {})
+        for stage in sorted(stages):
+            row = ((got or {}).get("percentiles") or {}).get(stage, stages[stage])
+            lines.append(
+                f"| &nbsp;&nbsp;↳ `{stage}` | — | — | — | — "
+                f"| {_fmt_p(row, 'p50')} | {_fmt_p(row, 'p99')} "
+                f"| {_fmt_p(row, 'p999')} |"
+            )
     lines.append("")
     return lines
 
