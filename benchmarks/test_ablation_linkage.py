@@ -36,7 +36,7 @@ def test_ablation_two_way_vs_one_way(benchmark, show):
                 minute=0,
                 claimed_path=[Point(300, 25), Point(400, 25)],
                 claim_neighbors=[res_a.actual_vp, res_b.actual_vp],
-                rng=trial,
+                seed=trial,
             )
             profiles = [res_a.actual_vp, res_b.actual_vp, fake]
             vmap = build_viewmap(profiles, minute=0)

@@ -66,7 +66,7 @@ def main():
     fake = forge_fake_vp(
         minute=minute,
         claimed_path=[incident, Point(incident.x + 200, incident.y)],
-        rng=13,
+        seed=13,
     )
     system.ingest_vp(fake)
     print(f"  fake VP {fake.vp_id.hex()[:12]}... claims the incident location")

@@ -17,7 +17,7 @@ from repro.core.viewprofile import ViewProfile
 from repro.crypto.bloom import BloomFilter
 from repro.geo.geometry import Point
 from repro.util.encoding import f32round
-from repro.util.rng import make_rng
+from repro.util.rng import derive_seed, make_rng
 from repro.util.timeline import minute_start
 
 
@@ -25,7 +25,7 @@ def forge_fake_vp(
     minute: int,
     claimed_path: list[Point],
     claim_neighbors: list[ViewProfile] | None = None,
-    rng: random.Random | int | None = None,
+    seed: int | random.Random = 0,
 ) -> ViewProfile:
     """Forge a VP claiming the given trajectory during ``minute``.
 
@@ -33,8 +33,18 @@ def forge_fake_vp(
     honest VPs' digests — the *one-way* half of a linkage claim.  The
     two-way check still fails because the honest side never heard the
     forged VDs, which is exactly what the tests assert.
+
+    Seeding follows the ``repro.attacks`` convention (collusion,
+    concentration, poisoning): an int ``seed`` is stretched through
+    :func:`~repro.util.rng.derive_seed` with the module label and the
+    claimed minute, so campaign grids mixing attack modules stay
+    reproducible from one master seed.  Pass a ``random.Random`` to
+    drive several forgeries from a single stream.
     """
-    rng = make_rng(rng)
+    if isinstance(seed, random.Random):
+        rng = seed
+    else:
+        rng = make_rng(derive_seed(seed, "faker", minute))
     secret = make_secret(rng)
     vp_id = vp_id_from_secret(secret)
     base_t = minute_start(minute)

@@ -148,7 +148,56 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
         _dump_metrics(args.metrics_json, occupancy)
 
 
+def _cmd_campaigns(args: argparse.Namespace) -> None:
+    from repro.analysis.campaigns import (
+        CampaignGridConfig,
+        row_invariant_violations,
+        rows_to_json,
+        run_campaign_grid,
+    )
+
+    overrides = {
+        "campaigns": args.grid_campaigns,
+        "backends": args.grid_backends,
+        "retentions": args.grid_retentions,
+        "codecs": args.grid_codecs,
+    }
+    cfg = CampaignGridConfig(
+        seed=args.seed,
+        **{
+            axis: tuple(value.split(","))
+            for axis, value in overrides.items()
+            if value
+        },
+    )
+    rows = run_campaign_grid(cfg)
+    print(
+        f"{'campaign':<14s} {'backend':<8s} {'retention':<12s} {'codec':<8s} "
+        f"{'success':>7s} {'loss':>6s} {'detect':>6s} {'ratio':>6s}"
+    )
+    violations: list[str] = []
+    for row in rows:
+        violations.extend(row_invariant_violations(row))
+        print(
+            f"{row.campaign:<14s} {row.backend:<8s} {row.retention:<12s} "
+            f"{row.codec:<8s} {row.attack_success_rate:>7.2f} "
+            f"{row.honest_vp_loss:>6.2f} {row.detection_latency_min:>6d} "
+            f"{row.throughput_ratio:>6.2f}"
+        )
+    if args.campaigns_json:
+        with open(args.campaigns_json, "w", encoding="utf-8") as fh:
+            fh.write(rows_to_json(rows))
+        print(f"campaign rows written to {args.campaigns_json}")
+    if violations:
+        raise ReproError(
+            f"{len(violations)} campaign invariant violation(s): "
+            + "; ".join(violations)
+        )
+    print(f"{len(rows)} cells, all invariants hold")
+
+
 COMMANDS = {
+    "campaigns": (_cmd_campaigns, "adversarial campaign grid: attacks x deployments"),
     "fig8": (_cmd_fig8, "hash generation: cascaded vs whole-file"),
     "fig12": (_cmd_fig12, "verification accuracy vs attacker position"),
     "fig15": (_cmd_fig15, "VP linkage ratio vs distance per environment"),
@@ -256,6 +305,41 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help="concurrent uploader threads driving ingest (1 = serial)",
+        )
+        cmd.add_argument(
+            "--campaigns-json",
+            type=str,
+            default="",
+            help="write the campaign grid's rows (campaign-row/v1) to "
+            "this JSON file — the input of tools/check_campaigns.py",
+        )
+        cmd.add_argument(
+            "--grid-campaigns",
+            type=str,
+            default="",
+            help="comma-separated campaigns for the campaigns grid "
+            "(default: all, including the clean control)",
+        )
+        cmd.add_argument(
+            "--grid-backends",
+            type=str,
+            default="",
+            help="comma-separated store backends for the campaigns grid "
+            "(default: memory,sqlite)",
+        )
+        cmd.add_argument(
+            "--grid-retentions",
+            type=str,
+            default="",
+            help="comma-separated retention policies for the campaigns "
+            "grid: none, window, pin_trusted (default: all)",
+        )
+        cmd.add_argument(
+            "--grid-codecs",
+            type=str,
+            default="",
+            help="comma-separated honest-wave wire codecs for the "
+            "campaigns grid: objects, frame (default: both)",
         )
     return parser
 

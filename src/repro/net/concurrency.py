@@ -274,8 +274,11 @@ class ConcurrentViewMapServer(ViewMapServer):
             watermark = self.system.retention_watermark
             if minute <= watermark:
                 return
-            if watermark >= 0:
-                minute = min(minute, watermark + MAX_WATERMARK_STEP)
+            if watermark >= 0 and minute > watermark + MAX_WATERMARK_STEP:
+                # counted under the lock so campaign monitors read an
+                # exact engagement count (see the serial server)
+                self.metrics.inc("server.watermark.clamped")
+                minute = watermark + MAX_WATERMARK_STEP
             try:
                 self.system.advance_retention(minute)
             except ReproError:

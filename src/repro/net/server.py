@@ -142,8 +142,13 @@ class ViewMapServer:
         watermark = self.system.retention_watermark
         if self.system.retention is None or minute <= watermark:
             return
-        if watermark >= 0:
-            minute = min(minute, watermark + MAX_WATERMARK_STEP)
+        if watermark >= 0 and minute > watermark + MAX_WATERMARK_STEP:
+            # the clamp engaging is a security signal, not just a guard:
+            # honest clock skew trips it rarely, a poisoning campaign
+            # trips it on every far-future claim — so count engagements
+            # where SLO dashboards and the campaign monitors can see them
+            self.metrics.inc("server.watermark.clamped")
+            minute = watermark + MAX_WATERMARK_STEP
         try:
             self.system.advance_retention(minute)
         except ReproError:

@@ -17,6 +17,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     StageTimer,
+    counter_value,
     merge_snapshots,
     snapshot_percentiles,
     stage_timer,
@@ -29,6 +30,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "StageTimer",
+    "counter_value",
     "merge_snapshots",
     "snapshot_percentiles",
     "stage_timer",

@@ -352,6 +352,20 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     return merged.snapshot()
 
 
+def counter_value(snap: dict, name: str) -> int:
+    """One counter's value out of a registry snapshot (0 when absent).
+
+    The read-side convenience for acceptance harnesses that gate on
+    event counts (uploads accepted/rejected, watermark clamps): a
+    snapshot is a plain dict, and an instrument that never fired has no
+    entry at all — callers should not have to spell that case out.
+    """
+    entry = snap.get(name)
+    if not entry:
+        return 0
+    return int(entry.get("value", 0))
+
+
 def snapshot_percentiles(snap: dict) -> dict:
     """Per-stage percentile rows of a snapshot's histograms.
 

@@ -17,6 +17,7 @@ from repro.sim.stream import (
     iter_minute_frames,
     iter_minute_vps,
     iter_upload_payloads,
+    stream_convoy_vps,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "iter_minute_vps",
     "iter_upload_payloads",
     "mean_contact_time",
+    "stream_convoy_vps",
 ]

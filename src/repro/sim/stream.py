@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.neighbors import NeighborTable
+from repro.core.vehicle import VehicleAgent
 from repro.core.viewdigest import VDGenerator, make_secret
 from repro.core.viewprofile import ViewProfile, build_view_profile
 from repro.errors import SimulationError
@@ -77,6 +78,58 @@ def stream_vp(seed: int, minute: int, vehicle: int, area_m: float) -> ViewProfil
     for i in range(TICKS_PER_MINUTE):
         gen.tick(base + i + 1, Point(x0 + 2.0 * i, y0), b"chunk")
     return build_view_profile(gen.digests, NeighborTable())
+
+
+def stream_convoy_vps(
+    seed: int,
+    minute: int,
+    n_witnesses: int,
+    site_xy: tuple[float, float],
+    lateral_gap_m: float = 30.0,
+    speed_mps: float = 5.0,
+) -> tuple[ViewProfile, list[ViewProfile]]:
+    """One trusted VP plus mutually-linked witness VPs crossing a site.
+
+    The linked counterpart of :func:`stream_vp`: streamed VPs carry
+    empty neighbour tables (load experiments only price ingest), but
+    verification-level scenarios — the adversarial campaign grid above
+    all — need a small population whose two-way Bloom linkage is real,
+    so investigations have a trusted seed and legitimate witnesses to
+    solicit.  This drives ``1 + n_witnesses`` :class:`VehicleAgent`\\ s
+    in convoy formation through ``site_xy`` for one minute with full
+    mutual VD reception, and returns ``(trusted_vp, witness_vps)`` —
+    the first agent's VP is the authority's (police) vehicle, to be
+    ingested through the trusted path.
+
+    Determinism matches the rest of the module: every VP is a pure
+    function of ``(seed, minute)``, distinct minutes produce disjoint
+    VP ids, and the convoy's trajectory spans ``±30 * speed_mps``
+    metres around the site so all members are site candidates.
+    """
+    if n_witnesses < 1:
+        raise SimulationError("a convoy needs at least one witness")
+    agents = [
+        VehicleAgent(vehicle_id=i, seed=derive_seed(seed, "convoy", minute))
+        for i in range(n_witnesses + 1)
+    ]
+    x0 = site_xy[0] - 30.0 * speed_mps
+    base = minute * float(TICKS_PER_MINUTE)
+    for second in range(TICKS_PER_MINUTE):
+        t = base + second + 1.0
+        positions = [
+            Point(x0 + speed_mps * second, site_xy[1] + lateral_gap_m * i)
+            for i in range(len(agents))
+        ]
+        digests = [
+            agent.emit(t, pos, minute=minute)
+            for agent, pos in zip(agents, positions)
+        ]
+        for i, agent in enumerate(agents):
+            for j, vd in enumerate(digests):
+                if i != j:
+                    agent.receive(vd, t, positions[i])
+    results = [agent.finalize_minute() for agent in agents]
+    return results[0].actual_vp, [r.actual_vp for r in results[1:]]
 
 
 def iter_minute_vps(

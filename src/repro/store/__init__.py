@@ -44,7 +44,12 @@ from repro.store.adaptive import GroupCommitController
 from repro.store.base import StoreStats, VPStore
 from repro.store.codec import decode_vp, decode_vp_batch, encode_vp, encode_vp_batch
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
-from repro.store.lifecycle import LifecycleReport, RetentionPolicy, apply_retention
+from repro.store.lifecycle import (
+    LifecycleReport,
+    RetentionPolicy,
+    apply_retention,
+    survey_overloaded,
+)
 from repro.store.memory import MemoryStore
 from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
 from repro.store.sqlite import DEFAULT_DECODE_CACHE, SQLiteStore
@@ -164,4 +169,5 @@ __all__ = [
     "encode_vp",
     "encode_vp_batch",
     "make_store",
+    "survey_overloaded",
 ]

@@ -108,6 +108,29 @@ class LifecycleReport:
     compaction: dict[str, Any] = field(default_factory=dict)
 
 
+def survey_overloaded(store: VPStore, max_vps_per_minute: int) -> dict[int, int]:
+    """Minutes whose population exceeds an advisory per-minute cap.
+
+    The concentration-flood detector (see
+    ``repro.attacks.concentration`` and the campaign grid in
+    ``repro.analysis.campaigns``): a metadata-only sweep over the
+    store's retained minutes flagging suspicious population spikes for
+    operator review.  VPs are potential evidence, so nothing is ever
+    dropped here — the survey only *reports*.  A cap of 0 disables the
+    check.  ``apply_retention`` runs this same survey as part of every
+    policy pass; campaign monitors call it directly so detection works
+    identically on stores that carry no retention policy at all.
+    """
+    if max_vps_per_minute <= 0:
+        return {}
+    overloaded: dict[int, int] = {}
+    for minute in store.minutes():
+        population = store.count_by_minute(minute)
+        if population > max_vps_per_minute:
+            overloaded[minute] = population
+    return overloaded
+
+
 def apply_retention(
     store: VPStore,
     policy: RetentionPolicy,
@@ -126,12 +149,7 @@ def apply_retention(
     """
     cutoff = policy.cutoff(newest_minute)
     evicted = store.evict_before(cutoff, keep_trusted=policy.pin_trusted)
-    overloaded: dict[int, int] = {}
-    if policy.max_vps_per_minute > 0:
-        for minute in store.minutes():
-            population = store.count_by_minute(minute)
-            if population > policy.max_vps_per_minute:
-                overloaded[minute] = population
+    overloaded = survey_overloaded(store, policy.max_vps_per_minute)
     compaction = store.compact() if compact else {}
     return LifecycleReport(
         newest_minute=newest_minute,

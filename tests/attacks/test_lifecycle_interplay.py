@@ -1,0 +1,127 @@
+"""Attacks × store lifecycle: poisoning vs the watermark, pinned trust.
+
+The attack tests and the retention tests each pass alone; these pin the
+*interplay* the campaign grid depends on: a forged far-future upload can
+never advance the retention watermark by more than MAX_WATERMARK_STEP
+(and each engagement is counted where monitors can see it), and
+``pin_trusted`` keeps investigation seeds alive through an attack-driven
+eviction wave mid-campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.faker import forge_fake_vp
+from repro.core.system import ViewMapSystem
+from repro.geo.geometry import Point
+from repro.net.concurrency import ConcurrentViewMapServer, ThreadedNetwork
+from repro.net.messages import decode_message
+from repro.net.server import MAX_WATERMARK_STEP, ViewMapServer
+from repro.net.transport import InMemoryNetwork
+from repro.obs.metrics import counter_value
+from repro.sim.stream import stream_convoy_vps
+from repro.store import RetentionPolicy
+from tests.net.test_retention import batch_payload, make_wire_vp
+
+
+def poison_vp(minute: int, seed: int = 99):
+    """A forged VP claiming an absurd future minute."""
+    return forge_fake_vp(
+        minute=minute, claimed_path=[Point(0.0, 0.0), Point(100.0, 0.0)], seed=seed
+    )
+
+
+class TestFarFuturePoisoningVsWatermark:
+    def make_server(self):
+        system = ViewMapSystem(
+            key_bits=512, seed=7, retention=RetentionPolicy(window_minutes=2)
+        )
+        net = InMemoryNetwork()
+        server = ViewMapServer(system=system, network=net)
+        return system, net, server
+
+    def test_single_poison_upload_is_clamped_and_counted(self):
+        system, net, server = self.make_server()
+        # honest traffic steps the watermark up within the clamp bound
+        net.send("honest", server.address, batch_payload([make_wire_vp(1, minute=2)]))
+        net.send("honest", server.address, batch_payload([make_wire_vp(2, minute=3)]))
+        assert system.retention_watermark == 3
+        reply = decode_message(
+            net.send("attacker", server.address, batch_payload([poison_vp(10_000)]))
+        )
+        assert reply["kind"] == "batch_ack"  # stored as evidence, not trusted
+        assert system.retention_watermark == 3 + MAX_WATERMARK_STEP
+        snap = server.metrics.snapshot()
+        assert counter_value(snap, "server.watermark.clamped") == 1
+
+    def test_sustained_poisoning_costs_one_step_per_upload(self):
+        system, net, server = self.make_server()
+        net.send("honest", server.address, batch_payload([make_wire_vp(1, minute=0)]))
+        for i in range(4):
+            net.send(
+                "attacker",
+                server.address,
+                batch_payload([poison_vp(10_000 + i, seed=100 + i)]),
+            )
+        # each accepted poison batch buys at most MAX_WATERMARK_STEP minutes
+        assert system.retention_watermark == 4 * MAX_WATERMARK_STEP
+        assert (
+            counter_value(server.metrics.snapshot(), "server.watermark.clamped") == 4
+        )
+
+    def test_honest_stepwise_traffic_never_trips_the_clamp(self):
+        system, net, server = self.make_server()
+        for minute in range(5):
+            net.send(
+                "honest",
+                server.address,
+                batch_payload([make_wire_vp(minute + 1, minute=minute)]),
+            )
+        assert system.retention_watermark == 4
+        assert (
+            counter_value(server.metrics.snapshot(), "server.watermark.clamped") == 0
+        )
+
+    def test_concurrent_server_clamps_identically(self):
+        system = ViewMapSystem(
+            key_bits=512, seed=7, retention=RetentionPolicy(window_minutes=2)
+        )
+        with ThreadedNetwork(workers=4) as net:
+            server = ConcurrentViewMapServer(system=system, network=net)
+            net.send("honest", server.address, batch_payload([make_wire_vp(1, minute=2)]))
+            net.send("attacker", server.address, batch_payload([poison_vp(10_000)]))
+            assert system.retention_watermark == 2 + MAX_WATERMARK_STEP
+            assert (
+                counter_value(server.metrics.snapshot(), "server.watermark.clamped")
+                == 1
+            )
+
+
+class TestPinnedTrustSurvivesAttackEviction:
+    @pytest.mark.parametrize("pin_trusted", [False, True])
+    def test_poison_driven_eviction_respects_the_pin(self, pin_trusted):
+        system = ViewMapSystem(
+            key_bits=512,
+            seed=7,
+            retention=RetentionPolicy(window_minutes=1, pin_trusted=pin_trusted),
+        )
+        net = InMemoryNetwork()
+        server = ViewMapServer(system=system, network=net)
+        trusted_ids = []
+        for minute in range(3):
+            trusted, witnesses = stream_convoy_vps(11, minute, 1, (500.0, 500.0))
+            system.ingest_trusted_vp(trusted)
+            trusted_ids.append(trusted.vp_id)
+            net.send("honest", server.address, batch_payload(witnesses))
+        # mid-campaign poison: clamped advance still evicts the window
+        net.send("attacker", server.address, batch_payload([poison_vp(10_000)]))
+        assert system.retention_watermark == 2 + MAX_WATERMARK_STEP
+        retained = [vp_id for vp_id in trusted_ids if vp_id in system.database]
+        if pin_trusted:
+            assert retained == trusted_ids  # every seed survived the attack
+            # and the pinned seeds keep the attacked minute investigable
+            inv = system.investigate(Point(500.0, 500.0), minute=2, site_radius_m=400.0)
+            assert inv.solicited
+        else:
+            assert retained == []  # the window took the seeds with it

@@ -1,4 +1,9 @@
-"""Integration: fake VPs cheating locations are rejected end to end."""
+"""Integration: fake VPs cheating locations are rejected end to end.
+
+The whole class runs once per store backend — rejection is a property
+of verification, and it must not depend on whether the VPs came back
+out of the in-memory grid, SQLite, a sharded fleet or worker processes.
+"""
 
 import pytest
 
@@ -6,25 +11,28 @@ from repro.attacks.faker import forge_fake_vp
 from repro.core.system import ViewMapSystem
 from repro.core.vehicle import VehicleAgent
 from repro.geo.geometry import Point
+from repro.store import STORE_KINDS, make_store
 from tests.conftest import run_linked_minute
 
 
-@pytest.fixture
-def system_with_incident():
-    system = ViewMapSystem(key_bits=512, seed=31)
+@pytest.fixture(params=STORE_KINDS)
+def system_with_incident(request):
+    store = make_store(request.param, n_shards=2, ingest_workers=2)
+    system = ViewMapSystem(key_bits=512, seed=31, store=store)
     police = VehicleAgent(vehicle_id=100, seed=31)
     witness = VehicleAgent(vehicle_id=1, seed=32)
     res_pol, res_wit = run_linked_minute(police, witness)
     system.ingest_trusted_vp(res_pol.actual_vp)
     system.ingest_vp(res_wit.actual_vp)
-    return system, witness, res_wit
+    yield system, witness, res_wit
+    system.close()
 
 
 class TestFakeVPRejection:
     def test_isolated_fake_not_solicited(self, system_with_incident):
         system, _, res_wit = system_with_incident
         fake = forge_fake_vp(
-            minute=0, claimed_path=[Point(300, 25), Point(350, 25)], rng=1
+            minute=0, claimed_path=[Point(300, 25), Point(350, 25)], seed=1
         )
         system.ingest_vp(fake)
         inv = system.investigate(Point(300, 25), minute=0, site_radius_m=500)
@@ -37,7 +45,7 @@ class TestFakeVPRejection:
             minute=0,
             claimed_path=[Point(300, 25), Point(350, 25)],
             claim_neighbors=[res_wit.actual_vp],  # one-way claim
-            rng=2,
+            seed=2,
         )
         system.ingest_vp(fake)
         inv = system.investigate(Point(300, 25), minute=0, site_radius_m=500)

@@ -84,3 +84,47 @@ class TestStreamIngest:
             reply = decode_message(net.send("vehicle", server.address, payload))
             assert not any(reply["accepted"])
         assert len(system.database) == 3
+
+
+class TestStreamConvoy:
+    def test_trusted_and_witnesses_are_mutually_linked(self):
+        from repro.core.viewmap import mutual_linkage
+        from repro.sim.stream import stream_convoy_vps
+
+        trusted, witnesses = stream_convoy_vps(0, 0, 2, (5000.0, 5000.0))
+        assert len(witnesses) == 2
+        members = [trusted] + witnesses
+        for a in members:
+            for b in members:
+                if a is not b:
+                    assert mutual_linkage(a, b)
+
+    def test_convoy_vps_are_wire_eligible_and_cross_the_site(self):
+        from repro.net.messages import pack_vp_batch_frame
+        from repro.sim.stream import stream_convoy_vps
+
+        trusted, witnesses = stream_convoy_vps(3, 2, 1, (1000.0, 1000.0))
+        for vp in [trusted] + witnesses:
+            assert vp.minute == 2
+            assert len(vp.digests) == 60
+            assert vp.start_point.x < 1000.0 < vp.end_point.x
+        # complete VPs: the anonymous witnesses fit the zero-decode frame
+        assert pack_vp_batch_frame(witnesses)
+
+    def test_deterministic_and_disjoint_across_minutes(self):
+        from repro.sim.stream import stream_convoy_vps
+
+        t1, w1 = stream_convoy_vps(4, 0, 2, (0.0, 0.0))
+        t2, w2 = stream_convoy_vps(4, 0, 2, (0.0, 0.0))
+        assert t1.vp_id == t2.vp_id
+        assert [w.vp_id for w in w1] == [w.vp_id for w in w2]
+        t3, w3 = stream_convoy_vps(4, 1, 2, (0.0, 0.0))
+        ids_0 = {t1.vp_id} | {w.vp_id for w in w1}
+        ids_1 = {t3.vp_id} | {w.vp_id for w in w3}
+        assert ids_0.isdisjoint(ids_1)
+
+    def test_needs_a_witness(self):
+        from repro.sim.stream import stream_convoy_vps
+
+        with pytest.raises(SimulationError):
+            stream_convoy_vps(0, 0, 0, (0.0, 0.0))
