@@ -138,6 +138,11 @@ def _cmd_fig21(args: argparse.Namespace) -> None:
         store.close()
     print(f"store: {occupancy.backend} ({occupancy.vps} VPs, "
           f"{occupancy.minutes} minutes)")
+    tile = occupancy.detail.get("tile_cache")
+    if tile:
+        print(f"tile cache: {tile['minutes']}/{tile['max_minutes']} minutes, "
+              f"{tile['hits']} hits / {tile['misses']} misses "
+              f"(epoch {tile['epoch']})")
     print(f"{stats.label}: {stats.nodes} VPs, {stats.edges} viewlinks, "
           f"member ratio {stats.member_ratio:.3f}")
     print(render_ascii(vmap))

@@ -7,7 +7,11 @@ a separate authenticated path (police fleet) and carry the trusted flag.
 Since the ``repro.store`` subsystem landed, this class is a thin facade
 over a pluggable :class:`~repro.store.base.VPStore` backend (spatially
 indexed in-memory by default; SQLite for persistence; sharded for
-scale-out).  The public API is unchanged from the flat-dict original.
+scale-out).  Reads go through ONE entry point —
+:meth:`VPDatabase.query` with a :class:`~repro.store.serving.QuerySpec`
+— and the historical per-shape methods (``by_minute``,
+``nearest_trusted``, …) are the store contract's thin wrappers over it,
+inherited here by plain delegation.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from repro.core.viewprofile import ViewProfile
 from repro.geo.geometry import Point, Rect
 from repro.store.base import StoreStats, VPStore
 from repro.store.memory import MemoryStore
+from repro.store.serving import MinuteTiles, QueryResult, QuerySpec
 
 
 @dataclass
@@ -70,21 +75,42 @@ class VPDatabase:
         """All minute indices with at least one stored VP."""
         return self.store.minutes()
 
+    def query(self, spec: QuerySpec) -> QueryResult:
+        """Run one read against the backend — THE read entry point.
+
+        Every axis combination (minute, area, trusted, k-nearest,
+        count, encoded) goes through here; see
+        :class:`~repro.store.serving.QuerySpec`.
+        """
+        return self.store.query(spec)
+
+    def query_encoded(self, spec: QuerySpec) -> bytes:
+        """Matching records as a ready codec frame (decode-free read)."""
+        return self.store.query_encoded(spec)
+
+    def coverage_tiles(self, minute: int) -> MinuteTiles:
+        """Per-cell coverage/confidence tiles of one minute."""
+        return self.store.coverage_tiles(minute)
+
+    # historical per-shape reads — pure sugar over ``query`` so callers
+    # migrating gradually keep working; no backend logic lives here
     def by_minute(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute."""
-        return self.store.by_minute(minute)
+        return self.query(QuerySpec(minute=minute)).vps
 
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
-        return self.store.by_minute_in_area(minute, area)
+        return self.query(QuerySpec(minute=minute, area=area)).vps
 
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
         """Trusted VPs of one minute."""
-        return self.store.trusted_by_minute(minute)
+        return self.query(QuerySpec(minute=minute, trusted_only=True)).vps
 
     def nearest_trusted(self, minute: int, site: Point, k: int = 1) -> list[ViewProfile]:
         """The k trusted VPs of a minute closest to the investigation site."""
-        return self.store.nearest_trusted(minute, site, k=k)
+        return self.query(
+            QuerySpec(minute=minute, trusted_only=True, nearest=site, k=k)
+        ).vps
 
     def evict_before(self, minute: int, keep_trusted: bool = False) -> int:
         """Retire every VP below the retention cutoff; returns the count.

@@ -44,6 +44,7 @@ from repro.errors import ValidationError
 from repro.geo.geometry import Point
 from repro.store.base import VPStore
 from repro.store.codec import iter_encoded_meta
+from repro.store.serving import QuerySpec
 from repro.store.lifecycle import LifecycleReport, RetentionPolicy, apply_retention
 
 
@@ -208,11 +209,13 @@ class ViewMapSystem:
         area over site + seeds, constructs the viewmap, runs Algorithm 1,
         and (optionally) posts the legitimate in-site identifiers.
         """
-        trusted = self.database.nearest_trusted(minute, site, k=n_trusted)
+        trusted = self.database.query(
+            QuerySpec(minute=minute, trusted_only=True, nearest=site, k=n_trusted)
+        ).vps
         if not trusted:
             raise ValidationError(f"no trusted VP available for minute {minute}")
         area = coverage_area(site, trusted)
-        candidates = self.database.by_minute_in_area(minute, area)
+        candidates = self.database.query(QuerySpec(minute=minute, area=area)).vps
         vmap = build_viewmap(candidates, minute, area=area, radius_m=link_radius_m)
         verification = verify_viewmap(vmap, site, site_radius_m)
         solicited = sorted(verification.legitimate)
@@ -243,7 +246,10 @@ class ViewMapSystem:
         """
         investigations = []
         for minute in minutes:
-            if not self.database.trusted_by_minute(minute):
+            # tile-backed trusted count: the gate costs O(1) per minute
+            # instead of materializing the trusted VPs it then discards
+            gate = QuerySpec(minute=minute, trusted_only=True, count=True)
+            if not self.database.query(gate).n:
                 continue
             investigations.append(
                 self.investigate(

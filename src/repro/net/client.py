@@ -24,16 +24,20 @@ from repro.crypto.blind import blind, make_blinding_secret, unblind
 from repro.crypto.cash import VirtualCash
 from repro.crypto.rsa import RSAPublicKey
 from repro.errors import CryptoError, NetworkError
+from repro.geo.geometry import Rect
 from repro.net.messages import (
     MAX_VP_BATCH,
     decode_message,
     encode_message,
+    pack_query_view,
     pack_view_profile,
     pack_vp_batch,
     pack_vp_batch_frame,
 )
 from repro.net.onion import OnionNetwork
 from repro.obs.metrics import MetricsRegistry, stage_timer
+from repro.store.codec import decode_vp_batch
+from repro.store.serving import QuerySpec
 from repro.util.rng import make_rng
 
 
@@ -121,6 +125,27 @@ class VehicleClient:
         self.pending_vps.clear()
         self.uploaded += landed
         return landed
+
+    def query_view(
+        self,
+        minute: int,
+        area: Rect | None = None,
+        trusted_only: bool = False,
+        encoded: bool = True,
+    ) -> list[ViewProfile]:
+        """Fetch one minute's (optionally area-scoped) VPs as objects.
+
+        The read half of the zero-decode wire: the reply is one codec
+        batch frame, and THIS side decodes it — with ``encoded=True``
+        (the default) the authority served stored spans without ever
+        materializing a VP.  ``encoded=False`` requests the legacy
+        decode-and-scan shape, useful as a comparison arm.
+        """
+        spec = QuerySpec(
+            minute=minute, area=area, trusted_only=trusted_only, encoded=encoded
+        )
+        reply = self._request("query_view", **pack_query_view(spec))
+        return decode_vp_batch(reply["frame"])
 
     def check_solicitations(self) -> list[bytes]:
         """Identifiers of our archived videos the system is soliciting."""

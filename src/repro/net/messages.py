@@ -26,6 +26,7 @@ from repro.core.viewdigest import ViewDigest
 from repro.core.viewprofile import ViewProfile
 from repro.crypto.bloom import BloomFilter
 from repro.errors import ValidationError, WireFormatError
+from repro.geo.geometry import Rect
 from repro.store.codec import (
     RECORD_OVERHEAD_BYTES,
     encode_vp_batch,
@@ -33,6 +34,7 @@ from repro.store.codec import (
     iter_encoded_meta,
     verify_encoded_body,
 )
+from repro.store.serving import QuerySpec
 
 VP_WIRE_BYTES = VIDEO_UNIT_SECONDS * VD_MESSAGE_BYTES + BLOOM_BYTES
 
@@ -173,6 +175,66 @@ def unpack_vp_batch_frame(frame: bytes) -> tuple[list[tuple], list[tuple[int, in
     except WireFormatError as exc:
         raise ValidationError(f"malformed VP batch frame: {exc}") from exc
     return rows, spans
+
+
+def pack_query_view(spec: QuerySpec) -> dict[str, Any]:
+    """The request fields of one ``query_view`` message.
+
+    The client-side twin of :func:`unpack_query_view`: only the axes
+    the wire read path serves travel (minute, optional area box,
+    trusted filter, encoded flag) — count and k-nearest stay
+    authority-internal.
+    """
+    fields: dict[str, Any] = {
+        "minute": spec.minute,
+        "trusted": spec.trusted_only,
+        "encoded": spec.encoded,
+    }
+    if spec.area is not None:
+        fields["area"] = [
+            spec.area.x_min,
+            spec.area.y_min,
+            spec.area.x_max,
+            spec.area.y_max,
+        ]
+    return fields
+
+
+def unpack_query_view(message: dict[str, Any]) -> QuerySpec:
+    """Parse and validate one ``query_view`` request.
+
+    Every rejection — a missing or non-integer minute, a malformed or
+    non-finite area box — is a clean :class:`ValidationError` (the
+    area reaches the tile index, where a NaN corner would otherwise
+    escape as a non-Repro exception).
+    """
+    try:
+        minute = int(message["minute"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError("query_view needs an integer minute") from exc
+    rect = None
+    box = message.get("area")
+    if box is not None:
+        if not isinstance(box, (list, tuple)) or len(box) != 4:
+            raise ValidationError(
+                "query_view area must be [x_min, y_min, x_max, y_max]"
+            )
+        try:
+            corners = [float(value) for value in box]
+        except (TypeError, ValueError) as exc:
+            raise ValidationError("query_view area corners must be numeric") from exc
+        if not all(math.isfinite(value) for value in corners):
+            raise ValidationError("query_view area corners must be finite")
+        try:
+            rect = Rect(*corners)
+        except ValueError as exc:  # inverted box: min corner past max
+            raise ValidationError(f"query_view area invalid: {exc}") from exc
+    return QuerySpec(
+        minute=minute,
+        area=rect,
+        trusted_only=bool(message.get("trusted", False)),
+        encoded=bool(message.get("encoded", False)),
+    )
 
 
 def encode_message(kind: str, **fields: Any) -> bytes:

@@ -32,13 +32,14 @@ from repro.errors import ReproError, ValidationError
 from repro.net.messages import (
     decode_message,
     encode_message,
+    unpack_query_view,
     unpack_view_profile,
     unpack_vp_batch,
     unpack_vp_batch_frame,
 )
 from repro.net.transport import InMemoryNetwork
 from repro.obs.metrics import MetricsRegistry, stage_timer
-from repro.store.codec import join_encoded_records
+from repro.store.codec import encode_vp_batch, join_encoded_records
 
 Handler = Callable[[dict[str, Any]], bytes]
 
@@ -78,6 +79,7 @@ class ViewMapServer:
         self._handlers = {
             "upload_vp": self._on_upload_vp,
             "upload_vp_batch": self._on_upload_vp_batch,
+            "query_view": self._on_query_view,
             "list_solicitations": self._on_list_solicitations,
             "upload_video": self._on_upload_video,
             "list_rewards": self._on_list_rewards,
@@ -245,6 +247,26 @@ class ViewMapServer:
         self.metrics.inc("server.upload.accepted", len(fresh))
         self.metrics.inc("server.upload.rejected", len(rows) - len(fresh))
         return encode_message("batch_ack", accepted=accepted, inserted=inserted)
+
+    def _on_query_view(self, message: dict[str, Any]) -> bytes:
+        """Serve one minute/area view query as a codec batch frame.
+
+        The read-side twin of the zero-decode upload path.  With
+        ``encoded=true`` (the serving default) the storage tier
+        assembles the reply straight from stored frame spans — no VP
+        body is decoded anywhere on the authority, the *client*
+        decodes.  With ``encoded=false`` the legacy decode-and-scan
+        shape is served: the matching VPs are materialized here and
+        re-encoded for the wire (the arm the read benchmark measures
+        the fast path against).  Replies are safe to serve lock-free on
+        a concurrent fabric because the store backends are thread-safe,
+        so this kind is deliberately NOT in ``GUARDED_KINDS``.
+        """
+        spec = unpack_query_view(message)
+        result = self.system.database.query(spec)
+        frame = result.frame if result.frame is not None else encode_vp_batch(result.vps)
+        self.metrics.observe("serve.encoded_bytes", float(len(frame)))
+        return encode_message("view", frame=frame, n=result.n)
 
     def _on_list_solicitations(self, message: dict[str, Any]) -> bytes:
         ids = self.system.solicitations.requested_ids()

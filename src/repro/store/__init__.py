@@ -30,6 +30,12 @@ an LRU decode cache, and sharded fleets fan batch inserts out to their
 ``(minute, spatial cell)`` composite keys (``shard_cells``) so a single
 hot minute fans out across shards.
 
+Reads go through ONE entry point — ``VPStore.query`` with a
+:class:`~repro.store.serving.QuerySpec` — backed by the serving tier
+(:mod:`repro.store.serving`): incrementally-maintained per-cell coverage
+tiles answer count queries and prune area queries without touching rows,
+and ``query_encoded`` serves decode-free span replies for the wire.
+
 Retention lives in :mod:`repro.store.lifecycle`: a
 :class:`RetentionPolicy` plus the ``evict_before``/``compact`` contract
 every backend implements keep a long-running authority's footprint
@@ -51,6 +57,13 @@ from repro.store.lifecycle import (
     survey_overloaded,
 )
 from repro.store.memory import MemoryStore
+from repro.store.serving import (
+    DEFAULT_TILE_MINUTES,
+    MinuteTiles,
+    QueryResult,
+    QuerySpec,
+    TileCache,
+)
 from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
 from repro.store.sqlite import DEFAULT_DECODE_CACHE, SQLiteStore
 from repro.store.workers import (
@@ -151,16 +164,21 @@ __all__ = [
     "DEFAULT_CELL_M",
     "DEFAULT_DECODE_CACHE",
     "DEFAULT_ROUTE_CELL_M",
+    "DEFAULT_TILE_MINUTES",
     "GroupCommitController",
     "LifecycleReport",
     "MemoryStore",
+    "MinuteTiles",
     "ProcessShardedStore",
+    "QueryResult",
+    "QuerySpec",
     "RetentionPolicy",
     "STORE_KINDS",
     "ShardedStore",
     "SpatialGrid",
     "SQLiteStore",
     "StoreStats",
+    "TileCache",
     "VPStore",
     "WorkerShard",
     "apply_retention",

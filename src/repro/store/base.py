@@ -11,11 +11,22 @@ Backends must agree exactly on semantics so they are interchangeable:
 * ``insert`` rejects duplicate VP identifiers with ``ValidationError``;
 * ``insert_many`` skips duplicates (idempotent batch ingest) and returns
   how many VPs were newly stored;
-* minute-scoped queries (``by_minute``, ``by_minute_in_area``,
-  ``trusted_by_minute``) return VPs in insertion order;
-* ``by_minute_in_area`` returns a VP iff any of its claimed positions
-  lies inside the (closed) query rectangle — identical to a full linear
-  scan, however the backend prunes candidates;
+* every read goes through one entry point — ``query(QuerySpec)``
+  (:mod:`repro.store.serving`) — whose axes compose minute, area,
+  trusted, k-nearest, count and encoded selection.  The historical
+  methods (``by_minute``, ``by_minute_in_area``, ``trusted_by_minute``,
+  ``nearest_trusted``, ``count_by_minute``) are thin wrappers building
+  specs; backends implement the protected ``_minute_*`` primitives
+  instead of overriding the wrappers;
+* minute-scoped selections return VPs in insertion order;
+* an area axis selects a VP iff any of its claimed positions lies
+  inside the (closed) query rectangle — identical to a full linear
+  scan, however the backend prunes candidates (and the shared
+  coverage-tile cache short-circuits minutes that cannot match);
+* ``query_encoded`` returns the *stored frame representation* of a
+  selection (:mod:`repro.store.codec` batch buffer), byte-identical
+  across backends for the same insertion history — the decode-free
+  read contract mirroring ``insert_encoded``;
 * ``evict_before`` removes every VP of a minute strictly below the
   cutoff (the retention watermark of :mod:`repro.store.lifecycle`) and
   returns how many were dropped; with ``keep_trusted=True`` trusted VPs
@@ -45,6 +56,15 @@ import numpy as np
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
 from repro.geo.geometry import Point, Rect
+from repro.obs.metrics import stage_timer
+from repro.store.serving import (
+    MinuteTiles,
+    QueryResult,
+    QuerySpec,
+    TileCache,
+    build_minute_tiles,
+)
+from repro.util.encoding import unpack_uint
 
 DUPLICATE_ID_MESSAGE = "a VP with this identifier already exists"
 
@@ -202,42 +222,183 @@ class VPStore(ABC):
     def __contains__(self, vp_id: bytes) -> bool:
         """True when a VP with this identifier is stored."""
 
-    # -- minute/area queries -----------------------------------------------
+    # -- the unified query entry point ---------------------------------------
+
+    #: per-minute coverage tile cache — backends that materialize tiles
+    #: attach one at construction; ``None`` disables tile pruning (the
+    #: worker-shard proxy, whose worker-side store owns the tiles)
+    tiles: TileCache | None = None
 
     @abstractmethod
     def minutes(self) -> list[int]:
         """Sorted minute indices with at least one stored VP."""
 
+    def query(self, spec: QuerySpec) -> QueryResult:
+        """Run one read request; the single entry point for every read.
+
+        Axes compose (see :class:`~repro.store.serving.QuerySpec`):
+        selection = minute, restricted by area and/or trusted flag;
+        then ``nearest`` ranks the selection by point-to-trajectory
+        distance (ties keep insertion order — stable sort) and keeps
+        ``k``; ``count`` returns cardinality only; ``encoded`` returns
+        the stored frame representation via :meth:`query_encoded`.
+        The whole read is one ``store.query`` stage observation, and
+        minutes whose coverage tiles cannot overlap the query area
+        short-circuit without touching a backend index.
+        """
+        with stage_timer(getattr(self, "metrics", None), "store.query"):
+            if spec.encoded:
+                frame = self.query_encoded(spec)
+                return QueryResult(spec=spec, n=unpack_uint(frame[1:5]), frame=frame)
+            if spec.count:
+                return QueryResult(spec=spec, n=self._count_query(spec))
+            vps = self._select(spec)
+            if spec.nearest is not None:
+                site = spec.nearest
+                vps.sort(key=lambda vp: min_squared_distance(vp, site))
+                vps = vps[: spec.k]
+            return QueryResult(spec=spec, n=len(vps), vps=vps)
+
+    def query_encoded(self, spec: QuerySpec) -> bytes:
+        """Stored-frame form of a selection — the decode-free read op.
+
+        Returns a :func:`repro.store.codec.encode_vp_batch` buffer of
+        the VPs the decoded selection would yield, byte-identical to
+        re-encoding them (bodies are content-deterministic and the
+        metadata head derives from the same values).  This default
+        encodes the decoded selection — correct for every backend,
+        cheap for the memory store (per-VP blobs are memoized), while
+        SQLite serves stored rows pass-through and sharded fleets
+        stitch owner-shard frames without decoding a body.
+        """
+        from repro.store.codec import encode_vp_batch  # circular at module scope
+
+        return encode_vp_batch(self._select(spec))
+
+    def _select(self, spec: QuerySpec) -> list[ViewProfile]:
+        """Decoded selection (minute/area/trusted axes) over primitives."""
+        if spec.trusted_only:
+            vps = self._minute_trusted_vps(spec.minute)
+            if spec.area is not None:
+                area = spec.area
+                vps = [vp for vp in vps if vp_claims_in_area(vp, area)]
+            return vps
+        if spec.area is not None:
+            if not self._tiles_allow(spec.minute, spec.area):
+                return []
+            return self._minute_area_vps(spec.minute, spec.area)
+        return self._minute_vps(spec.minute)
+
+    def _count_query(self, spec: QuerySpec) -> int:
+        """Count axis: exact cardinality, served from tiles when whole
+        -minute (tile totals are exact counts, not per-cell sums)."""
+        if spec.area is not None:
+            return len(self._select(spec))
+        if self.tiles is not None:
+            counts = self.tiles.counts(spec.minute)
+            if counts is None:
+                token = self.tiles.begin(spec.minute)
+                entry = self._build_tiles(spec.minute)
+                counts = (entry.n_vps, entry.n_trusted)
+                self.tiles.store(spec.minute, entry, token)
+            return counts[1] if spec.trusted_only else counts[0]
+        return self._minute_count(spec.minute, spec.trusted_only)
+
+    def _tiles_allow(self, minute: int, area: Rect) -> bool:
+        """Tile prune: may any VP of the minute claim inside ``area``?"""
+        if self.tiles is None:
+            return True
+        verdict = self.tiles.overlaps(minute, area)
+        if verdict is None:
+            token = self.tiles.begin(minute)
+            entry = self._build_tiles(minute)
+            verdict = entry.overlaps(area)
+            self.tiles.store(minute, entry, token)
+        return verdict
+
+    def coverage_tiles(self, minute: int) -> MinuteTiles:
+        """Materialized per-cell coverage/confidence of one minute.
+
+        Served from the tile cache when warm; a miss builds from the
+        backend's metadata scan and offers the entry to the cache
+        (admission subject to the epoch/generation discipline of
+        :class:`~repro.store.serving.TileCache`).
+        """
+        if self.tiles is None:
+            return self._build_tiles(minute)
+        snap = self.tiles.snapshot(minute)
+        if snap is not None:
+            return snap
+        token = self.tiles.begin(minute)
+        entry = self._build_tiles(minute)
+        snap = entry.copy()
+        self.tiles.store(minute, entry, token)
+        return snap
+
+    def _build_tiles(self, minute: int) -> MinuteTiles:
+        """Scan one minute into coverage tiles.
+
+        Default walks decoded VPs (bounding boxes are memoized);
+        backends with out-of-body metadata override with a scan that
+        never touches a body.
+        """
+        cell_m = self.tiles.cell_m if self.tiles is not None else 250.0
+        return build_minute_tiles(
+            (
+                (1 if vp.trusted else 0, *vp_bounding_box(vp))
+                for vp in self._minute_vps(minute)
+            ),
+            cell_m,
+        )
+
+    # -- backend read primitives ---------------------------------------------
+
     @abstractmethod
-    def by_minute(self, minute: int) -> list[ViewProfile]:
+    def _minute_vps(self, minute: int) -> list[ViewProfile]:
         """All VPs covering one minute, in insertion order."""
 
-    def count_by_minute(self, minute: int) -> int:
-        """How many VPs cover one minute.
+    @abstractmethod
+    def _minute_area_vps(self, minute: int, area: Rect) -> list[ViewProfile]:
+        """VPs of a minute claiming any location inside ``area``."""
+
+    @abstractmethod
+    def _minute_trusted_vps(self, minute: int) -> list[ViewProfile]:
+        """Trusted VPs of one minute, in insertion order."""
+
+    def _minute_count(self, minute: int, trusted_only: bool = False) -> int:
+        """Minute cardinality when no tile cache is attached.
 
         Backends override this with a metadata-only count — retention
         passes survey every retained minute, which must not decode VP
         bodies.
         """
-        return len(self.by_minute(minute))
+        if trusted_only:
+            return len(self._minute_trusted_vps(minute))
+        return len(self._minute_vps(minute))
 
-    @abstractmethod
+    # -- legacy read methods (thin wrappers over ``query``) ------------------
+
+    def by_minute(self, minute: int) -> list[ViewProfile]:
+        """All VPs covering one minute, in insertion order."""
+        return self.query(QuerySpec(minute=minute)).vps
+
+    def count_by_minute(self, minute: int) -> int:
+        """How many VPs cover one minute (metadata/tile-served)."""
+        return self.query(QuerySpec(minute=minute, count=True)).n
+
     def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
         """VPs of a minute claiming any location inside ``area``."""
+        return self.query(QuerySpec(minute=minute, area=area)).vps
 
-    @abstractmethod
     def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
         """Trusted VPs of one minute, in insertion order."""
+        return self.query(QuerySpec(minute=minute, trusted_only=True)).vps
 
     def nearest_trusted(self, minute: int, site: Point, k: int = 1) -> list[ViewProfile]:
-        """The k trusted VPs of a minute closest to the investigation site.
-
-        Distance is point-to-trajectory, vectorized over the VP's
-        ``positions_array``; ties keep insertion order (stable sort).
-        """
-        trusted = self.trusted_by_minute(minute)
-        trusted.sort(key=lambda vp: min_squared_distance(vp, site))
-        return trusted[:k]
+        """The k trusted VPs of a minute closest to the investigation site."""
+        return self.query(
+            QuerySpec(minute=minute, trusted_only=True, nearest=site, k=k)
+        ).vps
 
     # -- lifecycle / introspection -----------------------------------------
 

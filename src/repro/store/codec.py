@@ -150,6 +150,29 @@ def encode_vp_batch(vps: Sequence[ViewProfile]) -> bytes:
     return b"".join(parts)
 
 
+def encode_row_batch(rows: Sequence[tuple]) -> bytes:
+    """Frame storage rows back into a batch buffer.
+
+    The inverse of :func:`iter_encoded_rows`: each row is ``(vp_id,
+    minute, trusted, x_min, y_min, x_max, y_max, body)`` with the body
+    still encoded — exactly what a SQLite SELECT returns — so the
+    decode-free read path re-frames stored rows without materializing
+    a single :class:`ViewProfile`.  Byte-identical to
+    :func:`encode_vp_batch` over the decoded VPs: bodies are stored
+    verbatim and the metadata head derives from the same values.
+    """
+    parts = [pack_uint(VP_BATCH_VERSION, 1), pack_uint(len(rows), 4)]
+    for vp_id, minute, trusted, x_min, y_min, x_max, y_max, body in rows:
+        parts.append(
+            _RECORD_HEAD.pack(
+                _FLAG_TRUSTED if trusted else 0, minute, x_min, y_min, x_max, y_max
+            )
+        )
+        parts.append(bytes(vp_id))
+        parts.append(pack_prefixed(bytes(body)))
+    return b"".join(parts)
+
+
 def iter_encoded_records(batch: bytes) -> Iterator[tuple[tuple, int, int]]:
     """Walk a batch buffer yielding ``(row, start, end)`` per record.
 
@@ -303,6 +326,29 @@ def verify_encoded_body(
         raise WireFormatError("frame body start time does not match the claimed minute")
 
 
+def encoded_body_claims_area(body: bytes, area, offset: int = 0) -> bool:
+    """Decode-free exact area membership over one stored body blob.
+
+    True iff any packed digest location lies inside the closed
+    rectangle ``area`` — byte-for-byte the same values
+    :func:`decode_vp` would hand to ``vp_claims_in_area`` (wire
+    locations are float32-rounded before packing), so the encoded
+    read path returns exactly the decoded path's record set.
+    ``offset`` indexes the body inside a larger buffer (a frame or an
+    mmap); the body is inspected in place, never sliced out.
+    """
+    block_bytes = unpack_uint(body[offset + 3 : offset + 7])
+    base = offset + 7
+    x_min, x_max = area.x_min, area.x_max
+    y_min, y_max = area.y_min, area.y_max
+    for _t, x, y, *_rest in _PACKED_DIGEST.iter_unpack(
+        memoryview(body)[base : base + block_bytes]
+    ):
+        if x_min <= x <= x_max and y_min <= y <= y_max:
+            return True
+    return False
+
+
 def join_encoded_records(batch: bytes, spans: Sequence[tuple[int, int]]) -> bytes:
     """Build a new batch buffer from raw record spans of an existing one.
 
@@ -316,6 +362,20 @@ def join_encoded_records(batch: bytes, spans: Sequence[tuple[int, int]]) -> byte
     return b"".join(
         [pack_uint(VP_BATCH_VERSION, 1), pack_uint(len(spans), 4)]
         + [batch[start:end] for start, end in spans]
+    )
+
+
+def join_encoded_spans(spans: Sequence[tuple[bytes, int, int]]) -> bytes:
+    """Like :func:`join_encoded_records` across *several* source frames.
+
+    ``spans`` are ``(batch, start, end)`` triples — the sharded read
+    path's merge tool: each owner shard answers an encoded query with
+    its own frame, and the router stitches the records back into one
+    buffer in fleet insertion order without decoding a body.
+    """
+    return b"".join(
+        [pack_uint(VP_BATCH_VERSION, 1), pack_uint(len(spans), 4)]
+        + [batch[start:end] for batch, start, end in spans]
     )
 
 

@@ -68,8 +68,13 @@ class SpatialGrid:
         found.sort(key=lambda pair: pair[0])
         return [vp for _, vp in found]
 
-    def query(self, area: Rect) -> list[ViewProfile]:
-        """Exact area query: candidates filtered by per-point membership."""
+    def in_area(self, area: Rect) -> list[ViewProfile]:
+        """Exact area selection: candidates filtered by per-point membership.
+
+        Named for the axis it implements (``QuerySpec.area``) — across
+        the store layer ``query`` is reserved for the unified
+        ``VPStore.query(QuerySpec)`` entry point.
+        """
         return [vp for vp in self.candidates(area) if vp_claims_in_area(vp, area)]
 
     @property

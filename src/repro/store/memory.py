@@ -23,10 +23,16 @@ from typing import Iterable
 
 from repro.core.viewprofile import ViewProfile
 from repro.errors import ValidationError
-from repro.geo.geometry import Point, Rect
+from repro.geo.geometry import Rect
 from repro.obs.metrics import MetricsRegistry, stage_timer
-from repro.store.base import DUPLICATE_ID_MESSAGE, StoreStats, VPStore
+from repro.store.base import (
+    DUPLICATE_ID_MESSAGE,
+    StoreStats,
+    VPStore,
+    vp_bounding_box,
+)
 from repro.store.grid import DEFAULT_CELL_M, SpatialGrid
+from repro.store.serving import TileCache
 
 
 class MemoryStore(VPStore):
@@ -42,6 +48,8 @@ class MemoryStore(VPStore):
         self.cell_m = cell_m
         #: per-stage latency instrumentation (see ``docs/observability.md``)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: materialized coverage tiles, maintained incrementally at ingest
+        self.tiles = TileCache(cell_m=cell_m, metrics=self.metrics)
         self._lock = threading.RLock()
         self._by_id: dict[bytes, ViewProfile] = {}
         self._by_minute: dict[int, list[ViewProfile]] = defaultdict(list)
@@ -54,12 +62,16 @@ class MemoryStore(VPStore):
         with self._lock:
             if vp.vp_id in self._by_id:
                 raise ValidationError(DUPLICATE_ID_MESSAGE)
-            self._by_id[vp.vp_id] = vp
-            self._by_minute[vp.minute].append(vp)
-            grid = self._grids.get(vp.minute)
-            if grid is None:
-                grid = self._grids[vp.minute] = SpatialGrid(cell_m=self.cell_m)
-            grid.insert(vp)
+            with self.tiles.write((vp.minute,)) as tile_writes:
+                self._by_id[vp.vp_id] = vp
+                self._by_minute[vp.minute].append(vp)
+                grid = self._grids.get(vp.minute)
+                if grid is None:
+                    grid = self._grids[vp.minute] = SpatialGrid(cell_m=self.cell_m)
+                grid.insert(vp)
+                tile_writes.add(
+                    vp.minute, 1 if vp.trusted else 0, *vp_bounding_box(vp)
+                )
 
     def insert_trusted(self, vp: ViewProfile) -> None:
         """Store a VP through the authority path, marking it trusted."""
@@ -93,40 +105,33 @@ class MemoryStore(VPStore):
         with self._lock:
             return vp_id in self._by_id
 
-    # -- minute/area queries -----------------------------------------------
+    # -- minute/area read primitives -----------------------------------------
 
     def minutes(self) -> list[int]:
         """Sorted minute indices with at least one stored VP."""
         with self._lock:
             return sorted(self._by_minute)
 
-    def by_minute(self, minute: int) -> list[ViewProfile]:
-        """All VPs covering one minute, in insertion order."""
+    def _minute_vps(self, minute: int) -> list[ViewProfile]:
         with self._lock:
             return list(self._by_minute.get(minute, []))
 
-    def count_by_minute(self, minute: int) -> int:
-        """How many VPs cover one minute (no copies)."""
+    def _minute_count(self, minute: int, trusted_only: bool = False) -> int:
         with self._lock:
+            if trusted_only:
+                return sum(1 for vp in self._by_minute.get(minute, ()) if vp.trusted)
             return len(self._by_minute.get(minute, ()))
 
-    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
-        """VPs of a minute claiming any location inside ``area``."""
-        with stage_timer(self.metrics, "store.query"), self._lock:
+    def _minute_area_vps(self, minute: int, area: Rect) -> list[ViewProfile]:
+        with self._lock:
             grid = self._grids.get(minute)
             if grid is None:
                 return []
-            return grid.query(area)
+            return grid.in_area(area)
 
-    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        """Trusted VPs of one minute, in insertion order."""
+    def _minute_trusted_vps(self, minute: int) -> list[ViewProfile]:
         with self._lock:
             return [vp for vp in self._by_minute.get(minute, []) if vp.trusted]
-
-    def nearest_trusted(self, minute: int, site: Point, k: int = 1) -> list[ViewProfile]:
-        """The k trusted VPs of a minute closest to the investigation site."""
-        with self._lock:
-            return super().nearest_trusted(minute, site, k=k)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -157,6 +162,9 @@ class MemoryStore(VPStore):
                     grid = self._grids[m] = SpatialGrid(cell_m=self.cell_m)
                     for vp in pinned:
                         grid.insert(vp)
+            # pending tile builds are discarded and evicted minutes drop
+            # from the cache while the store lock still excludes readers
+            self.tiles.invalidate_below(minute)
             return evicted
 
     def compact(self) -> dict[str, int]:
@@ -186,6 +194,7 @@ class MemoryStore(VPStore):
                 detail={
                     "cell_m": self.cell_m,
                     "grid_cells": sum(g.n_cells for g in self._grids.values()),
+                    "tile_cache": self.tiles.info(),
                     "metrics": self.metrics.snapshot(),
                 },
             )

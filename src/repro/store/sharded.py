@@ -69,9 +69,15 @@ from repro.store.base import (
     VPStore,
     vp_bounding_box,
 )
-from repro.store.codec import iter_encoded_meta, join_encoded_records
+from repro.store.codec import (
+    encode_row_batch,
+    iter_encoded_meta,
+    join_encoded_records,
+    join_encoded_spans,
+)
 from repro.store.grid import DEFAULT_CELL_M
 from repro.store.memory import MemoryStore
+from repro.store.serving import MinuteTiles, QuerySpec, TileCache
 from repro.store.sqlite import SQLiteStore
 
 #: upper bound on the batch fan-out pool, whatever the shard count
@@ -101,6 +107,7 @@ class ShardedStore(VPStore):
         route_cell_m: float = DEFAULT_ROUTE_CELL_M,
         directory: str = "",
         metrics: MetricsRegistry | None = None,
+        tile_cell_m: float = DEFAULT_CELL_M,
     ) -> None:
         """Wrap an ordered shard fleet.
 
@@ -127,6 +134,11 @@ class ShardedStore(VPStore):
         #: the routing tier's own registry; ``stats()`` merges it with
         #: every shard's shipped snapshot into ``detail["metrics"]``
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: router-level coverage tiles: area/count queries answer (or
+        #: short-circuit) here without touching a shard.  ``tile_cell_m``
+        #: must match the shards' query-grid cell so merged tile maps
+        #: align cell-for-cell.
+        self.tiles = TileCache(cell_m=tile_cell_m, metrics=self.metrics)
         if fanout_workers is None:
             fanout_workers = min(len(self.shards), MAX_FANOUT_WORKERS)
         self.fanout_workers = fanout_workers
@@ -264,6 +276,7 @@ class ShardedStore(VPStore):
             [MemoryStore(cell_m=cell_m) for _ in range(n_shards)],
             shard_cells=shard_cells,
             route_cell_m=route_cell_m,
+            tile_cell_m=cell_m,
         )
 
     @classmethod
@@ -437,7 +450,11 @@ class ShardedStore(VPStore):
         if not claimed:
             raise ValidationError(DUPLICATE_ID_MESSAGE)
         try:
-            self.shards[self._shard_index(vp)].insert(vp)
+            with self.tiles.write((vp.minute,)) as tile_writes:
+                self.shards[self._shard_index(vp)].insert(vp)
+                tile_writes.add(
+                    vp.minute, 1 if vp.trusted else 0, *vp_bounding_box(vp)
+                )
         except BaseException:
             self._release_after_failure(claimed)
             raise
@@ -456,7 +473,9 @@ class ShardedStore(VPStore):
             raise ValidationError(DUPLICATE_ID_MESSAGE)
         try:
             vp.trusted = True
-            self.shards[self._shard_index(vp)].insert(vp)
+            with self.tiles.write((vp.minute,)) as tile_writes:
+                self.shards[self._shard_index(vp)].insert(vp)
+                tile_writes.add(vp.minute, 1, *vp_bounding_box(vp))
         except BaseException:
             self._release_after_failure(claimed)
             raise
@@ -486,9 +505,21 @@ class ShardedStore(VPStore):
                 by_shard: dict[int, list[ViewProfile]] = {}
                 for vp in fresh:
                     by_shard.setdefault(self._shard_index(vp), []).append(vp)
-                inserted = self._fanout_insert(
-                    by_shard, lambda shard, batch: shard.insert_many(batch)
-                )
+                with self.tiles.write({vp.minute for vp in fresh}) as tile_writes:
+                    inserted = self._fanout_insert(
+                        by_shard, lambda shard, batch: shard.insert_many(batch)
+                    )
+                    if inserted == len(fresh):
+                        for vp in fresh:
+                            tile_writes.add(
+                                vp.minute,
+                                1 if vp.trusted else 0,
+                                *vp_bounding_box(vp),
+                            )
+                    elif inserted:
+                        # a shard rejected part of its sub-batch, so the
+                        # landed set is unknown — rebuild on next read
+                        tile_writes.mark_dirty(*{vp.minute for vp in fresh})
             except BaseException:
                 self._release_after_failure(fresh)
                 raise
@@ -571,9 +602,20 @@ class ShardedStore(VPStore):
                         )
                         for idx, indices in by_shard.items()
                     }
-                inserted = self._fanout_insert(
-                    frames, lambda shard, buf: shard.insert_encoded(buf, strict=strict)
-                )
+                minutes = {records[i][0][1] for i in fresh}
+                with self.tiles.write(minutes) as tile_writes:
+                    inserted = self._fanout_insert(
+                        frames,
+                        lambda shard, buf: shard.insert_encoded(buf, strict=strict),
+                    )
+                    if inserted == len(fresh):
+                        for i in fresh:
+                            row = records[i][0]
+                            tile_writes.add(
+                                row[1], row[2], row[3], row[4], row[5], row[6]
+                            )
+                    elif inserted:
+                        tile_writes.mark_dirty(*minutes)
             except BaseException:
                 self._release_failed_pairs(claimed)
                 raise
@@ -670,26 +712,78 @@ class ShardedStore(VPStore):
         per_shard = [query(self.shards[idx]) for idx in self._owner_indices(minute)]
         return self._merge_minute(minute, per_shard)
 
-    def by_minute(self, minute: int) -> list[ViewProfile]:
-        """All VPs covering one minute, in fleet-wide insertion order."""
+    def _minute_vps(self, minute: int) -> list[ViewProfile]:
         return self._gather_minute(minute, lambda s: s.by_minute(minute))
 
-    def count_by_minute(self, minute: int) -> int:
-        """How many VPs cover one minute, over the owner-shard set."""
-        if self.shard_cells == 1:
+    def _minute_count(self, minute: int, trusted_only: bool = False) -> int:
+        """Sum owner-shard counts; shards answer from their own tiles."""
+        if self.shard_cells == 1 and not trusted_only:
             return self.shard_for(minute).count_by_minute(minute)
         return sum(
-            self.shards[idx].count_by_minute(minute)
+            self.shards[idx].query(
+                QuerySpec(minute=minute, trusted_only=trusted_only, count=True)
+            ).n
             for idx in self._owner_indices(minute)
         )
 
-    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
-        """VPs of a minute claiming any location inside ``area``."""
+    def _minute_area_vps(self, minute: int, area: Rect) -> list[ViewProfile]:
         return self._gather_minute(minute, lambda s: s.by_minute_in_area(minute, area))
 
-    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        """Trusted VPs of one minute, in fleet-wide insertion order."""
+    def _minute_trusted_vps(self, minute: int) -> list[ViewProfile]:
         return self._gather_minute(minute, lambda s: s.trusted_by_minute(minute))
+
+    def query_encoded(self, spec: QuerySpec) -> bytes:
+        """Decode-free span query, fanned out over owner shards only.
+
+        Each owner shard returns a ready codec frame of its matching
+        records (already area-filtered and trusted-filtered on the
+        shard, where the rows live).  Under minute-only routing the
+        single owner's frame passes through untouched; under composite
+        routing the per-shard frames are re-merged into fleet-wide
+        insertion order by walking their record *metadata* and joining
+        the raw spans — no VP body is decoded on the router.
+        """
+        if spec.area is not None and not self._tiles_allow(spec.minute, spec.area):
+            return encode_row_batch([])
+        sub = QuerySpec(
+            minute=spec.minute,
+            area=spec.area,
+            trusted_only=spec.trusted_only,
+            encoded=True,
+        )
+        if self.shard_cells == 1:
+            return self.shard_for(spec.minute).query_encoded(sub)
+        frames = [
+            self.shards[idx].query_encoded(sub)
+            for idx in self._owner_indices(spec.minute)
+        ]
+        with self._route_lock:
+            seqs = dict(self._minute_seq.get(spec.minute, ()))
+        known: list[tuple[int, bytes, int, int]] = []
+        unknown: list[tuple[bytes, int, int]] = []
+        for frame in frames:
+            for row, start, end in iter_encoded_meta(frame):
+                seq = seqs.get(bytes(row[0]))
+                if seq is None:
+                    unknown.append((frame, start, end))
+                else:
+                    known.append((seq, frame, start, end))
+        known.sort(key=lambda item: item[0])
+        spans = [(frame, start, end) for _, frame, start, end in known]
+        spans.extend(unknown)
+        return join_encoded_spans(spans)
+
+    def _build_tiles(self, minute: int) -> MinuteTiles:
+        """Merge the owner shards' tile maps into one fleet-wide map.
+
+        Shards partition the minute's VPs, so per-cell counts and the
+        per-minute totals add exactly; the shard-level caches make the
+        merge incremental in practice.
+        """
+        merged = MinuteTiles(cell_m=self.tiles.cell_m)
+        for idx in self._owner_indices(minute):
+            merged.merge(self.shards[idx].coverage_tiles(minute))
+        return merged
 
     # -- lifecycle / introspection -----------------------------------------
 
@@ -734,6 +828,9 @@ class ShardedStore(VPStore):
         evicted = sum(
             self._map_shards(lambda shard: shard.evict_before(minute, keep_trusted))
         )
+        # epoch bump: discard router tile builds that overlapped the
+        # fan-out and drop every cached minute below the watermark
+        self.tiles.invalidate_below(minute)
         survivors: set[bytes] = set()
         if keep_trusted and snapshot:
             snapshot_ids = [vp_id for ids in snapshot.values() for vp_id in ids]
@@ -803,6 +900,7 @@ class ShardedStore(VPStore):
                     "min": load_min,
                     "imbalance": load_max / load_min if load_min else float(load_max),
                 },
+                "tile_cache": self.tiles.info(),
                 "metrics": merged,
             },
         )

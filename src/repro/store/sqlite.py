@@ -90,7 +90,14 @@ from repro.store.base import (
     vp_bounding_box,
     vp_claims_in_area,
 )
-from repro.store.codec import decode_vp, encode_vp, iter_encoded_rows
+from repro.store.codec import (
+    decode_vp,
+    encode_row_batch,
+    encode_vp,
+    encoded_body_claims_area,
+    iter_encoded_rows,
+)
+from repro.store.serving import MinuteTiles, QuerySpec, TileCache, build_minute_tiles
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS vps (
@@ -135,6 +142,31 @@ _EVICT = "DELETE FROM vps WHERE minute < ?"
 _EVICT_UNTRUSTED = "DELETE FROM vps WHERE minute < ? AND trusted = 0"
 _ID_MINUTES = "SELECT vp_id, minute FROM vps ORDER BY rowid"
 _COUNT_BY_MINUTE = "SELECT COUNT(*) FROM vps WHERE minute = ?"
+_COUNT_TRUSTED_BY_MINUTE = (
+    "SELECT COUNT(*) FROM vps WHERE minute = ? AND trusted = 1"
+)
+# encoded (decode-free) read path: full row shape, pure pass-through
+# into codec frames — column order matches ``iter_encoded_rows`` exactly
+_ENCODED_BY_MINUTE = (
+    "SELECT vp_id, minute, trusted, x_min, y_min, x_max, y_max, body"
+    " FROM vps WHERE minute = ? ORDER BY rowid"
+)
+_ENCODED_TRUSTED_BY_MINUTE = (
+    "SELECT vp_id, minute, trusted, x_min, y_min, x_max, y_max, body"
+    " FROM vps WHERE minute = ? AND trusted = 1 ORDER BY rowid"
+)
+_ENCODED_BY_MINUTE_IN_AREA = (
+    "SELECT vp_id, minute, trusted, x_min, y_min, x_max, y_max, body"
+    " FROM vps WHERE minute = ? AND x_max >= ? AND x_min <= ?"
+    " AND y_max >= ? AND y_min <= ? ORDER BY rowid"
+)
+_ENCODED_TRUSTED_BY_MINUTE_IN_AREA = (
+    "SELECT vp_id, minute, trusted, x_min, y_min, x_max, y_max, body"
+    " FROM vps WHERE minute = ? AND x_max >= ? AND x_min <= ?"
+    " AND y_max >= ? AND y_min <= ? AND trusted = 1 ORDER BY rowid"
+)
+# coverage-tile build: metadata only, never a body (order irrelevant)
+_TILE_ROWS = "SELECT trusted, x_min, y_min, x_max, y_max FROM vps WHERE minute = ?"
 
 #: ``IN (...)`` lists are padded up to the nearest bucket so the id probe
 #: compiles a handful of statement shapes instead of one per batch size
@@ -239,6 +271,10 @@ class SQLiteStore(VPStore):
         else:
             self._target = path
             self._uri = False
+        #: materialized coverage tiles, maintained incrementally at ingest
+        #: (admitted pending group-commit rows count as landed — every
+        #: tile build flushes first, read-your-writes)
+        self.tiles = TileCache(metrics=self.metrics)
         self._local = threading.local()
         self._write_lock = threading.RLock()
         # WAL gives file databases snapshot reads under a live writer;
@@ -334,6 +370,20 @@ class SQLiteStore(VPStore):
             y_max,
             encode_vp(vp),
         )
+
+    @staticmethod
+    def _tile_deltas(tile_writes, rows: list[tuple], inserted: int) -> None:
+        """Report an ``INSERT OR IGNORE`` batch to the tile write bracket.
+
+        When every row landed the per-row deltas are exact; a partial
+        batch (duplicates ignored by SQLite, identities unknown) marks
+        its minutes dirty instead — rebuild-on-demand stays exact.
+        """
+        if inserted == len(rows):
+            for row in rows:
+                tile_writes.add(row[1], row[2], row[3], row[4], row[5], row[6])
+        elif inserted:
+            tile_writes.mark_dirty(*{row[1] for row in rows})
 
     def _cache_epoch(self) -> int:
         """Snapshot the eviction epoch (captured *before* a row SELECT)."""
@@ -453,14 +503,18 @@ class SQLiteStore(VPStore):
                     raise ValidationError(DUPLICATE_ID_MESSAGE)
                 seen.add(vp_id)
         inserted = 0
-        for row in rows:
-            vp_id = bytes(row[0])
-            if vp_id in self._pending or vp_id in taken:
-                continue
-            taken.add(vp_id)
-            self._pending[vp_id] = row
-            self._pending_bytes += len(row[7])
-            inserted += 1
+        # an admitted pending row counts as landed for the tile cache:
+        # tile builds flush first, so they observe exactly these rows
+        with self.tiles.write({row[1] for row in rows}) as tile_writes:
+            for row in rows:
+                vp_id = bytes(row[0])
+                if vp_id in self._pending or vp_id in taken:
+                    continue
+                taken.add(vp_id)
+                self._pending[vp_id] = row
+                self._pending_bytes += len(row[7])
+                tile_writes.add(row[1], row[2], row[3], row[4], row[5], row[6])
+                inserted += 1
         if self._pending and self._pending_since is None:
             self._pending_since = time.monotonic()
         if (
@@ -483,11 +537,13 @@ class SQLiteStore(VPStore):
             if self.group_commit_rows > 0:
                 self._enqueue_rows([row], strict=True)
                 return
-            try:
-                with self._conn:
-                    self._conn.execute(_INSERT, row)
-            except sqlite3.IntegrityError as exc:
-                raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+            with self.tiles.write((row[1],)) as tile_writes:
+                try:
+                    with self._conn:
+                        self._conn.execute(_INSERT, row)
+                except sqlite3.IntegrityError as exc:
+                    raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+                tile_writes.add(row[1], row[2], row[3], row[4], row[5], row[6])
             self._charge_commit()
 
     def insert_trusted(self, vp: ViewProfile) -> None:
@@ -510,12 +566,15 @@ class SQLiteStore(VPStore):
                     return self._enqueue_rows(rows, strict=False)
                 conn = self._conn
                 before = conn.total_changes
-                with conn:
-                    conn.executemany(_INSERT_OR_IGNORE, rows)
+                with self.tiles.write({row[1] for row in rows}) as tile_writes:
+                    with conn:
+                        conn.executemany(_INSERT_OR_IGNORE, rows)
+                    inserted = conn.total_changes - before
+                    self._tile_deltas(tile_writes, rows, inserted)
                 self._charge_commit()
                 if self.commit_latency_s:
                     timing.add_modeled(self.commit_latency_s)
-                return conn.total_changes - before
+                return inserted
 
     def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
         """Batch-ingest from a codec batch buffer without decoding bodies.
@@ -538,18 +597,21 @@ class SQLiteStore(VPStore):
                     return self._enqueue_rows(rows, strict=strict)
                 conn = self._conn
                 before = conn.total_changes
-                try:
-                    with conn:
-                        if strict:
-                            conn.executemany(_INSERT, rows)
-                        else:
-                            conn.executemany(_INSERT_OR_IGNORE, rows)
-                except sqlite3.IntegrityError as exc:
-                    raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+                with self.tiles.write({row[1] for row in rows}) as tile_writes:
+                    try:
+                        with conn:
+                            if strict:
+                                conn.executemany(_INSERT, rows)
+                            else:
+                                conn.executemany(_INSERT_OR_IGNORE, rows)
+                    except sqlite3.IntegrityError as exc:
+                        raise ValidationError(DUPLICATE_ID_MESSAGE) from exc
+                    inserted = conn.total_changes - before
+                    self._tile_deltas(tile_writes, rows, inserted)
                 self._charge_commit()
                 if self.commit_latency_s:
                     timing.add_modeled(self.commit_latency_s)
-                return conn.total_changes - before
+                return inserted
 
     def _probe_ids(self, vp_ids: list[bytes]) -> set[bytes]:
         """Which of these ids have table rows (pending buffer NOT consulted)."""
@@ -632,7 +694,7 @@ class SQLiteStore(VPStore):
         with self._read_guard:
             return self._conn.execute(_EXISTS, (vp_id,)).fetchone() is not None
 
-    # -- minute/area queries -----------------------------------------------
+    # -- minute/area read primitives -----------------------------------------
 
     def minutes(self) -> list[int]:
         """Sorted minute indices with at least one stored VP."""
@@ -640,45 +702,80 @@ class SQLiteStore(VPStore):
         with self._read_guard:
             return [m for (m,) in self._conn.execute(_MINUTES).fetchall()]
 
-    def by_minute(self, minute: int) -> list[ViewProfile]:
-        """All VPs covering one minute, in insertion order."""
-        with stage_timer(self.metrics, "store.query"):
-            self._flush_for_read()
-            epoch = self._cache_epoch()
-            with self._read_guard:
-                rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
-            return [self._vp_of(*row, epoch=epoch) for row in rows]
-
-    def count_by_minute(self, minute: int) -> int:
-        """How many VPs cover one minute (index-only count)."""
+    def _minute_vps(self, minute: int) -> list[ViewProfile]:
         self._flush_for_read()
+        epoch = self._cache_epoch()
         with self._read_guard:
-            return self._conn.execute(_COUNT_BY_MINUTE, (minute,)).fetchone()[0]
+            rows = self._conn.execute(_BY_MINUTE, (minute,)).fetchall()
+        return [self._vp_of(*row, epoch=epoch) for row in rows]
 
-    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
-        """VPs of a minute claiming any location inside ``area``.
+    def _minute_count(self, minute: int, trusted_only: bool = False) -> int:
+        self._flush_for_read()
+        statement = _COUNT_TRUSTED_BY_MINUTE if trusted_only else _COUNT_BY_MINUTE
+        with self._read_guard:
+            return self._conn.execute(statement, (minute,)).fetchone()[0]
 
-        The bbox index prunes candidates; each surviving row is decoded
-        (cache-assisted) and exact-checked per claimed position.
-        """
-        with stage_timer(self.metrics, "store.query"):
-            self._flush_for_read()
-            epoch = self._cache_epoch()
-            with self._read_guard:
-                rows = self._conn.execute(
-                    _BY_MINUTE_IN_AREA,
-                    (minute, area.x_min, area.x_max, area.y_min, area.y_max),
-                ).fetchall()
-            candidates = (self._vp_of(*row, epoch=epoch) for row in rows)
-            return [vp for vp in candidates if vp_claims_in_area(vp, area)]
+    def _minute_area_vps(self, minute: int, area: Rect) -> list[ViewProfile]:
+        # the bbox index prunes candidates; each surviving row is
+        # decoded (cache-assisted) and exact-checked per position
+        self._flush_for_read()
+        epoch = self._cache_epoch()
+        with self._read_guard:
+            rows = self._conn.execute(
+                _BY_MINUTE_IN_AREA,
+                (minute, area.x_min, area.x_max, area.y_min, area.y_max),
+            ).fetchall()
+        candidates = (self._vp_of(*row, epoch=epoch) for row in rows)
+        return [vp for vp in candidates if vp_claims_in_area(vp, area)]
 
-    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        """Trusted VPs of one minute, in insertion order."""
+    def _minute_trusted_vps(self, minute: int) -> list[ViewProfile]:
         self._flush_for_read()
         epoch = self._cache_epoch()
         with self._read_guard:
             rows = self._conn.execute(_TRUSTED_BY_MINUTE, (minute,)).fetchall()
         return [self._vp_of(*row, epoch=epoch) for row in rows]
+
+    def query_encoded(self, spec: QuerySpec) -> bytes:
+        """Decode-free selection: stored rows framed straight through.
+
+        The SELECT returns rows in the exact column order of
+        :func:`repro.store.codec.iter_encoded_rows`; the only per-row
+        work on an area query is the decode-free exact membership test
+        over the packed digest locations
+        (:func:`repro.store.codec.encoded_body_claims_area`), which
+        reads the same float32-rounded values the decoded path checks
+        — so the result frame is byte-identical to re-encoding the
+        decoded selection.  No :class:`ViewProfile` exists anywhere on
+        this path.
+        """
+        self._flush_for_read()
+        area = spec.area
+        if area is not None:
+            if not self._tiles_allow(spec.minute, area):
+                return encode_row_batch([])
+            statement = (
+                _ENCODED_TRUSTED_BY_MINUTE_IN_AREA
+                if spec.trusted_only
+                else _ENCODED_BY_MINUTE_IN_AREA
+            )
+            params = (spec.minute, area.x_min, area.x_max, area.y_min, area.y_max)
+        else:
+            statement = (
+                _ENCODED_TRUSTED_BY_MINUTE if spec.trusted_only else _ENCODED_BY_MINUTE
+            )
+            params = (spec.minute,)
+        with self._read_guard:
+            rows = self._conn.execute(statement, params).fetchall()
+        if area is not None:
+            rows = [row for row in rows if encoded_body_claims_area(row[7], area)]
+        return encode_row_batch(rows)
+
+    def _build_tiles(self, minute: int) -> MinuteTiles:
+        """Tile build from the metadata columns — bodies never selected."""
+        self._flush_for_read()
+        with self._read_guard:
+            rows = self._conn.execute(_TILE_ROWS, (minute,)).fetchall()
+        return build_minute_tiles(rows, self.tiles.cell_m)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -713,6 +810,11 @@ class SQLiteStore(VPStore):
                     ]
                     for key in stale:
                         del self._cache[key]
+            if evicted:
+                # same discipline for the tile cache: pending builds
+                # are discarded and evicted minutes drop (a pinned
+                # minute's entry drops too — its population changed)
+                self.tiles.invalidate_below(minute)
             return evicted
 
     def compact(self, min_reclaim_bytes: int = DEFAULT_COMPACT_BYTES) -> dict:
@@ -819,6 +921,7 @@ class SQLiteStore(VPStore):
                 "path": self.path,
                 "connections": n_conns,
                 "decode_cache": cache,
+                "tile_cache": self.tiles.info(),
                 "group_commit": group,
                 "metrics": self.metrics.snapshot(),
             },

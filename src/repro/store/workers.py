@@ -55,6 +55,7 @@ from repro.util.encoding import unpack_uint
 from repro.obs.metrics import MetricsRegistry
 from repro.store.grid import DEFAULT_CELL_M
 from repro.store.memory import MemoryStore
+from repro.store.serving import MinuteTiles, QuerySpec
 from repro.store.sharded import DEFAULT_ROUTE_CELL_M, ShardedStore
 from repro.store.sqlite import (
     DEFAULT_DECODE_CACHE,
@@ -133,13 +134,30 @@ def _dispatch(store: VPStore, request: tuple) -> object:
     if op == "minutes":
         return store.minutes()
     if op == "count":
-        return store.count_by_minute(request[1])
+        return store.query(
+            QuerySpec(minute=request[1], trusted_only=request[2], count=True)
+        ).n
     if op == "by_minute":
         return encode_vp_batch(store.by_minute(request[1]))
     if op == "trusted":
         return encode_vp_batch(store.trusted_by_minute(request[1]))
     if op == "in_area":
         return encode_vp_batch(store.by_minute_in_area(request[1], Rect(*request[2])))
+    if op == "query_enc":
+        # decode-free span query: the worker's backend assembles the
+        # codec frame (tile-pruned, row pass-through on SQLite) and the
+        # raw bytes travel the pipe untouched
+        return store.query_encoded(
+            QuerySpec(
+                minute=request[1],
+                area=None if request[2] is None else Rect(*request[2]),
+                trusted_only=request[3],
+                encoded=True,
+            )
+        )
+    if op == "tiles":
+        # coverage tiles ship as their plain-dict form (cheap, picklable)
+        return store.coverage_tiles(request[1]).to_dict()
     if op == "id_minutes":
         return list(store.iter_id_minutes())
     if op == "evict":
@@ -343,33 +361,52 @@ class WorkerShard(VPStore):
 
     # -- minute/area queries -----------------------------------------------
 
+    # the worker-side store owns the minute tiles; the proxy keeps none,
+    # so base-class query planning falls through to the pipe ops below
+    tiles = None
+
     def minutes(self) -> list[int]:
         """Sorted minute indices with at least one stored VP."""
         return self._request("minutes")
 
-    def by_minute(self, minute: int) -> list[ViewProfile]:
-        """All VPs covering one minute, in insertion order."""
+    def _minute_vps(self, minute: int) -> list[ViewProfile]:
         return decode_vp_batch(self._request("by_minute", minute))
 
-    def count_by_minute(self, minute: int) -> int:
-        """How many VPs cover one minute (metadata-only on the worker)."""
-        return self._request("count", minute)
+    def _minute_count(self, minute: int, trusted_only: bool = False) -> int:
+        """Minute population (metadata-only on the worker's tiles)."""
+        return self._request("count", minute, trusted_only)
 
-    def by_minute_in_area(self, minute: int, area: Rect) -> list[ViewProfile]:
-        """VPs of a minute claiming any location inside ``area``.
-
-        The spatial index query AND the body decodes of the candidate
-        check run on the worker's GIL; only matches travel back.
-        """
+    def _minute_area_vps(self, minute: int, area: Rect) -> list[ViewProfile]:
+        """The spatial index query AND the body decodes of the candidate
+        check run on the worker's GIL; only matches travel back."""
         return decode_vp_batch(
             self._request(
                 "in_area", minute, (area.x_min, area.y_min, area.x_max, area.y_max)
             )
         )
 
-    def trusted_by_minute(self, minute: int) -> list[ViewProfile]:
-        """Trusted VPs of one minute, in insertion order."""
+    def _minute_trusted_vps(self, minute: int) -> list[ViewProfile]:
         return decode_vp_batch(self._request("trusted", minute))
+
+    def query_encoded(self, spec: QuerySpec) -> bytes:
+        """Decode-free span query: the worker's frame crosses as-is.
+
+        Nothing is decoded on either side of the pipe — the worker's
+        backend assembles the codec frame from stored spans and the
+        proxy hands the raw buffer straight to its caller (the sharded
+        router, or the serving tier's wire reply).
+        """
+        area = spec.area
+        return self._request(
+            "query_enc",
+            spec.minute,
+            None if area is None else (area.x_min, area.y_min, area.x_max, area.y_max),
+            spec.trusted_only,
+        )
+
+    def _build_tiles(self, minute: int) -> MinuteTiles:
+        """Fetch the worker's coverage tiles (one dict round-trip)."""
+        return MinuteTiles.from_dict(self._request("tiles", minute))
 
     # -- lifecycle / introspection -----------------------------------------
 
@@ -453,6 +490,7 @@ class ProcessShardedStore(ShardedStore):
         mp_context: str = "",
         op_timeout_s: float = DEFAULT_OP_TIMEOUT_S,
         metrics: MetricsRegistry | None = None,
+        tile_cell_m: float = DEFAULT_CELL_M,
     ) -> None:
         """Start one worker per spec dict and wrap them as a fleet.
 
@@ -479,6 +517,7 @@ class ProcessShardedStore(ShardedStore):
                 route_cell_m=route_cell_m,
                 directory=directory,
                 metrics=metrics,
+                tile_cell_m=tile_cell_m,
             )
         except BaseException:
             for worker in workers:
@@ -500,7 +539,13 @@ class ProcessShardedStore(ShardedStore):
             {"kind": "memory", "cell_m": cell_m, "metrics": metrics_enabled}
             for _ in range(n_workers)
         ]
-        return cls(specs, shard_cells=shard_cells, route_cell_m=route_cell_m, **kwargs)
+        return cls(
+            specs,
+            shard_cells=shard_cells,
+            route_cell_m=route_cell_m,
+            tile_cell_m=cell_m,
+            **kwargs,
+        )
 
     @classmethod
     def sqlite(

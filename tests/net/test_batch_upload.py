@@ -102,6 +102,7 @@ class TestDispatchHardening:
         assert set(server._handlers) == {
             "upload_vp",
             "upload_vp_batch",
+            "query_view",
             "list_solicitations",
             "upload_video",
             "list_rewards",

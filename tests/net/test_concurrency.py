@@ -140,6 +140,7 @@ class TestConcurrentViewMapServer:
         assert set(server._handlers) == {
             "upload_vp",
             "upload_vp_batch",
+            "query_view",
             "list_solicitations",
             "upload_video",
             "list_rewards",

@@ -182,6 +182,86 @@ def test_backends_agree_with_reference(ops, area, batch):
         backend.close()
 
 
+@given(ops=ops, area=areas)
+@settings(max_examples=25, deadline=None)
+def test_query_spec_parity_decoded_and_encoded(ops, area):
+    """Every ``query(QuerySpec)`` axis agrees across backends — and the
+    encoded (decode-free) results are *byte-identical* to re-encoding
+    the decoded-path selection, on every backend."""
+    from repro.store import QuerySpec, encode_vp_batch
+
+    reference = ReferenceModel()
+    backends = fresh_backends()
+    stores = [reference] + backends
+    for op in ops:
+        seed, minute, xc, yc, trusted = op
+        unique = seed + 10 * (minute + 4 * ((xc + 2) + 7 * (yc + 2)))
+        copies = [
+            make_vp(seed=unique, n=2, minute=minute, x0=300.0 * xc, y0=300.0 * yc)
+            for _ in stores
+        ]
+        for store, vp in zip(stores, copies):
+            try:
+                if trusted:
+                    store.insert_trusted(vp)
+                else:
+                    store.insert(vp)
+            except ValidationError:
+                pass
+
+    x0, y0, w, h = area
+    rect = Rect(x0, y0, x0 + w, y0 + h)
+    site = Point(150.0, 150.0)
+    for minute in range(4):
+        selections = {
+            "minute": (QuerySpec(minute=minute), reference.by_minute(minute)),
+            "area": (
+                QuerySpec(minute=minute, area=rect),
+                reference.by_minute_in_area(minute, rect),
+            ),
+            "trusted": (
+                QuerySpec(minute=minute, trusted_only=True),
+                reference.trusted_by_minute(minute),
+            ),
+            "nearest": (
+                QuerySpec(minute=minute, trusted_only=True, nearest=site, k=2),
+                reference.nearest_trusted(minute, site, k=2),
+            ),
+        }
+        for label, (spec, expected) in selections.items():
+            for backend in backends:
+                result = backend.query(spec)
+                assert fingerprints(result.vps) == fingerprints(expected), label
+                assert result.n == len(expected), label
+        # count axis (tile-served where tiles exist)
+        for trusted_only, expected_n in (
+            (False, len(reference.by_minute(minute))),
+            (True, len(reference.trusted_by_minute(minute))),
+        ):
+            spec = QuerySpec(minute=minute, trusted_only=trusted_only, count=True)
+            for backend in backends:
+                assert backend.query(spec).n == expected_n
+        # encoded axis: byte-identical frames, client-side decode parity
+        for spec, expected in (
+            (QuerySpec(minute=minute, encoded=True), reference.by_minute(minute)),
+            (
+                QuerySpec(minute=minute, area=rect, encoded=True),
+                reference.by_minute_in_area(minute, rect),
+            ),
+            (
+                QuerySpec(minute=minute, trusted_only=True, encoded=True),
+                reference.trusted_by_minute(minute),
+            ),
+        ):
+            expected_frame = encode_vp_batch(expected)
+            for backend in backends:
+                result = backend.query(spec)
+                assert result.frame == expected_frame, backend.kind
+                assert result.n == len(expected)
+    for backend in backends:
+        backend.close()
+
+
 @pytest.mark.parametrize("kind", ["memory", "sqlite", "sharded", "procs"])
 def test_make_store_round_trip(kind):
     from repro.store import make_store

@@ -117,7 +117,7 @@ class TestSpatialGrid:
         for vp in vps:
             grid.insert(vp)
         area = Rect(150, -50, 650, 50)
-        exact = grid.query(area)
+        exact = grid.in_area(area)
         candidates = grid.candidates(area)
         assert set(id(v) for v in exact) <= set(id(v) for v in candidates)
         # linear reference
@@ -129,4 +129,4 @@ class TestSpatialGrid:
         grid = SpatialGrid(cell_m=100.0)
         vp = make_vp(seed=9, x0=-425.0, y0=-125.0)
         grid.insert(vp)
-        assert grid.query(Rect(-500, -200, -300, 0)) == [vp]
+        assert grid.in_area(Rect(-500, -200, -300, 0)) == [vp]
