@@ -1,0 +1,226 @@
+"""Streaming ingest front-end vs the buffer-whole wire path (PR 5).
+
+Thousands of vehicles upload their minute VPs to the authority.  The
+PR 5 transport buffers each request whole on a threaded fabric: every
+upload is a fresh request paying the last-mile RTT, and the frame rides
+inside the hex-coded JSON envelope (~2.1x the frame bytes on the wire).
+The streaming front-end holds one connection per vehicle: the handshake
+RTT is paid once, every subsequent frame is length-prefixed raw bytes
+parsed incrementally off the socket and handed to the store as a
+read-only span — zero decode, zero intermediate copy.
+
+Latency gate (modeled, per the ROADMAP's single-CPU rule): per-upload
+ingest latency = last-mile RTT amortization + wire transfer at a DSRC
+27 Mbit/s link.  Wall clock is reported for information only.  The
+acceptance test also asserts the zero-copy contract (no record-span
+materializations during the streaming storm) and that both transports
+store the identical VP population.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.system import ViewMapSystem
+from repro.net.concurrency import ConcurrentViewMapServer, ThreadedNetwork
+from repro.net.messages import (
+    STREAM_HEADER_BYTES,
+    decode_message,
+    encode_message,
+)
+from repro.net.streaming import StreamingNetwork
+from repro.obs.metrics import counter_value
+from repro.sim.stream import iter_minute_frames
+from repro.store.codec import iter_encoded_meta, span_copy_count
+
+from benchmarks.conftest import fmt_row
+
+N_CONNECTIONS = 2048      #: modeled concurrent vehicle connections
+MINUTES = 3               #: frames per connection (one VP per minute)
+RTT_S = 0.01              #: modeled last-mile round trip
+BANDWIDTH_BPS = 27e6      #: modeled DSRC link rate (802.11p)
+WORKERS = 8               #: handler pool width, identical on both arms
+
+
+def make_fleet_frames() -> list[bytes]:
+    """One single-VP frame per (vehicle, minute), grouped by minute."""
+    return [
+        mf.frame
+        for mf in iter_minute_frames(
+            N_CONNECTIONS, MINUTES, seed=29, batch_vps=1
+        )
+    ]
+
+
+def frames_by_connection(frames: list[bytes]) -> list[list[bytes]]:
+    """Round-robin minute frames back onto their vehicle's connection."""
+    per_conn: list[list[bytes]] = [[] for _ in range(N_CONNECTIONS)]
+    for i, frame in enumerate(frames):
+        per_conn[i % N_CONNECTIONS].append(frame)
+    return per_conn
+
+
+def frame_population(frames: list[bytes]) -> set[bytes]:
+    return {
+        bytes(meta[0]) for frame in frames for meta, _, _ in iter_encoded_meta(frame)
+    }
+
+
+def stored_population(system: ViewMapSystem) -> set[bytes]:
+    return {
+        vp.vp_id
+        for minute in system.database.minutes()
+        for vp in system.database.by_minute(minute)
+    }
+
+
+# -- the two arms ----------------------------------------------------------
+
+
+def run_streaming(frames: list[bytes]) -> tuple[float, set[bytes], dict, int]:
+    """The full fleet over held streaming connections; returns
+    (wall_s, stored ids, metrics snapshot, span copies made)."""
+    copies_before = span_copy_count()
+    with ViewMapSystem(key_bits=512, seed=1) as system:
+        with StreamingNetwork(
+            workers=WORKERS, admission_shards=4, admission_depth=4 * N_CONNECTIONS
+        ) as net:
+            server = ConcurrentViewMapServer(system=system, network=net)
+            t0 = time.perf_counter()
+            conns = [net.connect(server.address) for _ in range(N_CONNECTIONS)]
+            futures = [
+                conn.upload_frame_async(frame)
+                for conn, conn_frames in zip(conns, frames_by_connection(frames))
+                for frame in conn_frames
+            ]
+            for future in futures:
+                reply = decode_message(future.result(120.0))
+                assert reply["kind"] == "batch_ack", reply
+            wall = time.perf_counter() - t0
+            stored = stored_population(system)
+            snap = net.metrics.snapshot()
+    return wall, stored, snap, span_copy_count() - copies_before
+
+
+def run_threaded(frames: list[bytes], payloads: list[bytes]) -> tuple[float, set[bytes]]:
+    """The same fleet through the PR 5 buffer-whole threaded fabric."""
+    with ViewMapSystem(key_bits=512, seed=1) as system:
+        with ThreadedNetwork(workers=WORKERS) as net:
+            server = ConcurrentViewMapServer(system=system, network=net)
+            t0 = time.perf_counter()
+            futures = [
+                net.send_async("vehicle", server.address, payload)
+                for payload in payloads
+            ]
+            for future in futures:
+                reply = decode_message(future.result())
+                assert reply["kind"] == "batch_ack", reply
+            wall = time.perf_counter() - t0
+            stored = stored_population(system)
+    return wall, stored
+
+
+def envelope_payloads(frames: list[bytes]) -> list[bytes]:
+    return [
+        encode_message("upload_vp_batch", session=f"s{i}", frame=frame)
+        for i, frame in enumerate(frames)
+    ]
+
+
+# -- modeled ingest latency ------------------------------------------------
+
+
+def modeled_threaded_latency_s(payloads: list[bytes]) -> float:
+    """Mean per-upload latency: every request pays RTT + envelope xfer."""
+    return sum(RTT_S + 8 * len(p) / BANDWIDTH_BPS for p in payloads) / len(payloads)
+
+
+def modeled_streaming_latency_s(frames: list[bytes]) -> float:
+    """Mean per-upload latency: RTT once per held connection, then raw
+    length-prefixed frames pipelined down the open socket."""
+    total = 0.0
+    n = 0
+    for conn_frames in frames_by_connection(frames):
+        if not conn_frames:
+            continue
+        total += RTT_S + sum(
+            8 * (STREAM_HEADER_BYTES + len(f)) / BANDWIDTH_BPS for f in conn_frames
+        )
+        n += len(conn_frames)
+    return total / n
+
+
+# -- acceptance ------------------------------------------------------------
+
+
+def test_streaming_ingest_speedup(show):
+    """Acceptance: streaming >= 2x the buffer-whole path on modeled
+    ingest latency, with zero body copies and an identical stored
+    population."""
+    frames = make_fleet_frames()
+    payloads = envelope_payloads(frames)
+
+    stream_wall, stream_ids, snap, copies = run_streaming(frames)
+    threaded_wall, threaded_ids = run_threaded(frames, payloads)
+
+    lat_threaded = modeled_threaded_latency_s(payloads)
+    lat_stream = modeled_streaming_latency_s(frames)
+    speedup = lat_threaded / lat_stream
+    wire_threaded = sum(len(p) for p in payloads)
+    wire_stream = sum(STREAM_HEADER_BYTES + len(f) for f in frames)
+
+    show(
+        f"Streaming ingest — {N_CONNECTIONS} modeled connections x "
+        f"{MINUTES} single-VP frames, {1e3 * RTT_S:.0f} ms RTT / "
+        f"{BANDWIDTH_BPS / 1e6:.0f} Mbit/s modeled link",
+        fmt_row("threaded / streaming wire MB", [wire_threaded / 1e6, wire_stream / 1e6]),
+        fmt_row("modeled latency ms/upload", [1e3 * lat_threaded, 1e3 * lat_stream]),
+        fmt_row("streaming speedup", [1.0, speedup]),
+        fmt_row("wall s (informational)", [threaded_wall, stream_wall]),
+        fmt_row("record-span copies", [float("nan"), float(copies)], "{:>8.0f}"),
+    )
+
+    # transport parity: both arms stored the entire fleet's population
+    expected = frame_population(frames)
+    assert stream_ids == expected
+    assert threaded_ids == expected
+
+    # the zero-copy contract: no record span was materialized anywhere
+    # between the modeled socket and the store
+    assert copies == 0, f"{copies} record spans were copied on the streaming path"
+    assert counter_value(snap, "server.upload.shed") == 0
+
+    # acceptance: >= 2x on modeled per-upload ingest latency (measured
+    # ~2.7x — amortized RTT + no hex envelope; headroom for model tweaks)
+    assert speedup >= 2.0
+
+
+# -- timed (regression-gated in CI) ----------------------------------------
+
+
+def test_benchmark_streaming_ingest(benchmark):
+    """Timed (regression-gated in CI): the streaming fleet storm.
+
+    ``extra_info`` carries the admission queue-depth and shed-rate
+    gauges so the CI summary reports backpressure posture next to the
+    timing.
+    """
+    frames = make_fleet_frames()
+    state: dict = {"snap": {}, "uploads": 0}
+
+    def storm():
+        _, _, snap, _ = run_streaming(frames)
+        state["snap"] = snap
+        state["uploads"] = len(frames)
+
+    benchmark.pedantic(storm, rounds=3, iterations=1)
+
+    snap = state["snap"]
+    shed = counter_value(snap, "server.upload.shed")
+    depth = snap.get("server.admission.depth", {}).get("value", 0.0)
+    pending = snap.get("server.admission.pending_bytes", {}).get("value", 0.0)
+    benchmark.extra_info["gauges"] = {
+        "server.admission.depth": float(depth),
+        "server.admission.pending_bytes": float(pending),
+        "server.upload.shed_rate": shed / max(1, state["uploads"]),
+    }

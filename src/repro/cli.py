@@ -201,6 +201,85 @@ def _cmd_campaigns(args: argparse.Namespace) -> None:
     print(f"{len(rows)} cells, all invariants hold")
 
 
+def _cmd_stream(args: argparse.Namespace) -> None:
+    """Replay a fleet upload burst through a real transport front-end."""
+    import time
+
+    from repro.core.system import ViewMapSystem
+    from repro.net.concurrency import ConcurrentViewMapServer, ThreadedNetwork
+    from repro.net.messages import decode_message, encode_message
+    from repro.net.streaming import StreamingNetwork
+    from repro.obs.metrics import counter_value
+    from repro.sim.stream import iter_minute_frames
+    from repro.store import make_store
+
+    store = make_store(
+        args.store,
+        path=args.store_path,
+        n_shards=args.shards,
+        shard_cells=args.shard_cells,
+        ingest_workers=args.ingest_workers,
+        group_commit_rows=args.group_commit_rows,
+        group_commit_target_s=args.commit_target_ms / 1e3,
+        slo_p99_ms=args.slo_p99_ms,
+    )
+    system = ViewMapSystem(database=store)
+    frames = list(
+        iter_minute_frames(args.vehicles, args.minutes, seed=args.seed)
+    )
+    inserted = shed = 0
+    started = time.perf_counter()
+    try:
+        if args.transport == "streaming":
+            with StreamingNetwork(
+                max_pending_bytes=args.max_pending_bytes,
+                slo_p99_s=args.slo_p99_ms / 1e3,
+            ) as net:
+                ConcurrentViewMapServer(system=system, network=net, address="authority")
+                lanes = [net.connect("authority") for _ in range(min(args.workers, 64))]
+                futures = [
+                    lanes[i % len(lanes)].upload_frame_async(mf.frame)
+                    for i, mf in enumerate(frames)
+                ]
+                for future in futures:
+                    reply = decode_message(future.result(120.0))
+                    if reply["kind"] == "batch_ack":
+                        inserted += reply["inserted"]
+                    elif reply["kind"] == "busy":
+                        shed += 1
+                for lane in lanes:
+                    lane.close()
+                snap = net.metrics.snapshot()
+                shed = max(shed, counter_value(snap, "server.upload.shed"))
+        else:
+            with ThreadedNetwork(workers=max(args.workers, 1)) as net:
+                ConcurrentViewMapServer(system=system, network=net, address="authority")
+                futures = [
+                    net.send_async(
+                        f"vehicle-{i}",
+                        "authority",
+                        encode_message(
+                            "upload_vp_batch", session=f"s{i}", frame=mf.frame
+                        ),
+                    )
+                    for i, mf in enumerate(frames)
+                ]
+                for future in futures:
+                    reply = decode_message(future.result())
+                    if reply["kind"] == "batch_ack":
+                        inserted += reply["inserted"]
+        total = len(store)
+    finally:
+        store.close()
+    elapsed = time.perf_counter() - started
+    n_vps = sum(mf.n_vps for mf in frames)
+    print(
+        f"{args.transport}: {len(frames)} frames / {n_vps} VPs in "
+        f"{elapsed:.2f}s — {inserted} inserted, {shed} shed, "
+        f"{total} stored"
+    )
+
+
 COMMANDS = {
     "campaigns": (_cmd_campaigns, "adversarial campaign grid: attacks x deployments"),
     "fig8": (_cmd_fig8, "hash generation: cascaded vs whole-file"),
@@ -208,6 +287,7 @@ COMMANDS = {
     "fig15": (_cmd_fig15, "VP linkage ratio vs distance per environment"),
     "fig21": (_cmd_fig21, "build and render a traffic-derived viewmap"),
     "privacy": (_cmd_privacy, "tracking entropy/success over time (figs 10/11/22ab)"),
+    "stream": (_cmd_stream, "replay a fleet upload burst through a transport"),
     "table2": (_cmd_table2, "the 14 field measurement scenarios"),
 }
 
@@ -338,6 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
             default="",
             help="comma-separated retention policies for the campaigns "
             "grid: none, window, pin_trusted (default: all)",
+        )
+        cmd.add_argument(
+            "--transport",
+            choices=("threaded", "streaming"),
+            default="threaded",
+            help="front-end for the stream command: threaded = buffered "
+            "worker-pool fabric, streaming = async zero-copy ingest "
+            "(frames parsed incrementally off the connection)",
+        )
+        cmd.add_argument(
+            "--max-pending-bytes",
+            type=int,
+            default=8 * 1024 * 1024,
+            help="per-connection cap on buffered-but-unprocessed upload "
+            "bytes for --transport streaming; a peer exceeding it is "
+            "shed with a clean error",
         )
         cmd.add_argument(
             "--grid-codecs",

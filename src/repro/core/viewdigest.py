@@ -114,8 +114,10 @@ class ViewDigest:
         file_size = unpack_uint(data[16:24])
         initial_location = unpack_pair_f32(data[24:32])
         second_index = unpack_uint(data[PACKED_SECOND_INDEX])
-        vp_id = data[PACKED_VP_ID]
-        chain_hash = data[56:72]
+        # bytes() so a memoryview chunk (a storage span decoded in
+        # place) yields hashable fields; a no-op for bytes input
+        vp_id = bytes(data[PACKED_VP_ID])
+        chain_hash = bytes(data[56:72])
         vd = cls(
             second_index=second_index,
             t=t,

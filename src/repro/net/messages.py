@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import math
+import struct
 from typing import Any
 
 from repro.constants import BLOOM_BYTES, VD_MESSAGE_BYTES, VIDEO_UNIT_SECONDS
@@ -175,6 +176,154 @@ def unpack_vp_batch_frame(frame: bytes) -> tuple[list[tuple], list[tuple[int, in
     except WireFormatError as exc:
         raise ValidationError(f"malformed VP batch frame: {exc}") from exc
     return rows, spans
+
+
+#: streaming-connection handshake: a vehicle opens with these four bytes
+#: before its first record, and the authority echoes them back, so a
+#: peer speaking the wrong protocol is rejected before any buffering
+STREAM_MAGIC = b"VMS1"
+
+#: stream record kinds — a JSON control envelope or one raw batch frame
+STREAM_KIND_MSG = 0x01
+STREAM_KIND_FRAME = 0x02
+
+_STREAM_HEAD = struct.Struct(">BI")  # kind (1B) | payload length (4B)
+
+STREAM_HEADER_BYTES = _STREAM_HEAD.size
+
+#: hard per-record payload bound: one full MAX_VP_BATCH frame.  A header
+#: declaring more is rejected before a single payload byte is buffered,
+#: so a hostile peer cannot make the authority reserve unbounded memory.
+MAX_STREAM_PAYLOAD_BYTES = 5 + MAX_VP_BATCH * (RECORD_OVERHEAD_BYTES + FRAME_BODY_BYTES)
+
+
+def pack_stream_record(kind: int, payload: bytes | memoryview) -> bytes:
+    """Frame one stream record: ``kind (1B) | length (4B) | payload``."""
+    if kind not in (STREAM_KIND_MSG, STREAM_KIND_FRAME):
+        raise WireFormatError(f"unknown stream record kind {kind:#x}")
+    if len(payload) > MAX_STREAM_PAYLOAD_BYTES:
+        raise WireFormatError(
+            f"stream record payload of {len(payload)} bytes exceeds the "
+            f"{MAX_STREAM_PAYLOAD_BYTES}-byte bound"
+        )
+    return _STREAM_HEAD.pack(kind, len(payload)) + bytes(payload)
+
+
+def peek_frame_minute(frame: bytes | memoryview) -> int:
+    """Cheap sidecar peek at a batch frame's first-record minute.
+
+    Used by admission control to pick a shard queue *before* the frame
+    is validated; a frame too short to carry a record maps to minute 0
+    (it will be rejected by :func:`unpack_vp_batch_frame` anyway).
+    """
+    if len(frame) < 10:
+        return 0
+    return int.from_bytes(frame[6:10], "big")
+
+
+class FrameParser:
+    """Incremental parser for one vehicle's streaming connection.
+
+    A small explicit state machine — handshake, record header, record
+    payload — fed raw chunks as they arrive off the socket.  Payload
+    bytes are assembled into an exact-size per-record buffer allocated
+    from the header's declared length; a completed record is emitted as
+    a *read-only* :class:`memoryview` of that buffer, which is never
+    resized or reused, so downstream consumers (the group-commit
+    pending queue, worker pipes) may hold the span as long as they
+    like.  That buffer is the only place payload bytes land between the
+    socket and ``insert_encoded`` — the zero-copy property the
+    streaming ingest benchmark asserts.
+
+    Resource bounds are enforced *before* buffering: a header declaring
+    more than ``max_payload_bytes`` (default: one full 256-VP batch
+    frame), an unknown record kind, or a bad handshake magic each raise
+    a clean :class:`ValidationError` with nothing ingested.  Slow-loris
+    style starvation (a peer trickling a partial record forever) is the
+    transport's job — :attr:`pending_bytes` exposes how much of an
+    unfinished record is buffered so the connection watchdog can apply
+    its read deadline.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_payload_bytes: int = MAX_STREAM_PAYLOAD_BYTES,
+        require_handshake: bool = True,
+    ) -> None:
+        self._max_payload = max_payload_bytes
+        self._await_magic = require_handshake
+        self._head = bytearray()
+        self._payload: bytearray | None = None
+        self._kind = 0
+        self._filled = 0
+        #: total payload bytes emitted over the connection's lifetime
+        self.records_out = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered for the record currently in flight."""
+        return len(self._head) + self._filled
+
+    @property
+    def mid_record(self) -> bool:
+        """True while a record (or the handshake) is partially received."""
+        return self._payload is not None or bool(self._head)
+
+    def feed(self, data: bytes | memoryview) -> list[tuple[int, memoryview]]:
+        """Consume one chunk; return every record it completes.
+
+        Each returned tuple is ``(kind, payload)`` with ``payload`` a
+        read-only view over a freshly allocated, never-mutated buffer.
+        """
+        chunk = memoryview(data)
+        records: list[tuple[int, memoryview]] = []
+        offset = 0
+        while offset < len(chunk):
+            if self._payload is None:
+                want = (4 if self._await_magic else STREAM_HEADER_BYTES) - len(self._head)
+                take = min(want, len(chunk) - offset)
+                self._head += chunk[offset : offset + take]
+                offset += take
+                if take < want:
+                    break
+                if self._await_magic:
+                    if bytes(self._head) != STREAM_MAGIC:
+                        raise ValidationError(
+                            "streaming handshake rejected: bad protocol magic"
+                        )
+                    self._await_magic = False
+                    self._head.clear()
+                    continue
+                kind, length = _STREAM_HEAD.unpack(self._head)
+                if kind not in (STREAM_KIND_MSG, STREAM_KIND_FRAME):
+                    raise ValidationError(f"unknown stream record kind {kind:#x}")
+                if length > self._max_payload:
+                    raise ValidationError(
+                        f"stream record of {length} bytes exceeds the "
+                        f"{self._max_payload}-byte payload bound"
+                    )
+                self._head.clear()
+                if length == 0:
+                    records.append((kind, memoryview(b"")))
+                    continue
+                self._kind = kind
+                self._payload = bytearray(length)
+                self._filled = 0
+            else:
+                take = min(len(self._payload) - self._filled, len(chunk) - offset)
+                self._payload[self._filled : self._filled + take] = chunk[
+                    offset : offset + take
+                ]
+                self._filled += take
+                offset += take
+                if self._filled == len(self._payload):
+                    done = self._payload
+                    self._payload = None
+                    self._filled = 0
+                    self.records_out += len(done)
+                    records.append((self._kind, memoryview(done).toreadonly()))
+        return records
 
 
 def pack_query_view(spec: QuerySpec) -> dict[str, Any]:

@@ -248,6 +248,29 @@ class ViewMapServer:
         self.metrics.inc("server.upload.rejected", len(rows) - len(fresh))
         return encode_message("batch_ack", accepted=accepted, inserted=inserted)
 
+    def ingest_frame_stream(self, frame: bytes | memoryview) -> bytes:
+        """Streaming twin of the ``upload_vp_batch`` frame handler.
+
+        The entry point :class:`~repro.net.streaming.StreamingNetwork`
+        calls for every ``FRAME`` record a connection's parser
+        completes: no JSON envelope, no hex decode — ``frame`` is a
+        read-only span of the connection's receive buffer, validated
+        from the metadata sidecar in place and handed to the storage
+        tier still as that span.  Reply bytes are the same
+        ``batch_ack``/``error`` envelopes as the threaded path, so
+        clients decode both transports identically.  Safe on the
+        concurrent server: uploads are lock-free by design and the
+        watermark pass goes through the (overridden, lock-guarded)
+        ``_observe_minute``.  Streamed frames carry no session id;
+        they are logged under their own kind for the privacy probes.
+        """
+        try:
+            self._log_session("upload_stream", "")
+            with stage_timer(self.metrics, "server.handle.upload_stream"):
+                return self._ingest_frame(frame)
+        except ReproError as exc:
+            return encode_message("error", reason=str(exc))
+
     def _on_query_view(self, message: dict[str, Any]) -> bytes:
         """Serve one minute/area view query as a codec batch frame.
 

@@ -349,6 +349,27 @@ def encoded_body_claims_area(body: bytes, area, offset: int = 0) -> bool:
     return False
 
 
+#: process-local count of record-span byte materializations on the
+#: ingest path.  The streaming front-end's zero-copy contract — no
+#: ``bytes(...)`` copy of a record body between the socket receive
+#: buffer and the worker ``executemany`` — is asserted by regression
+#: tests and the streaming benchmark as "this counter did not move".
+#: Legitimate copies (regrouping a frame into per-shard sub-batches)
+#: report here via :func:`note_span_copies` so the seam stays honest.
+_span_copies = 0
+
+
+def note_span_copies(n: int) -> None:
+    """Record ``n`` record-span materializations (see ``span_copy_count``)."""
+    global _span_copies
+    _span_copies += n
+
+
+def span_copy_count() -> int:
+    """Process-local running total of ingest-path record-span copies."""
+    return _span_copies
+
+
 def join_encoded_records(batch: bytes, spans: Sequence[tuple[int, int]]) -> bytes:
     """Build a new batch buffer from raw record spans of an existing one.
 
@@ -357,8 +378,11 @@ def join_encoded_records(batch: bytes, spans: Sequence[tuple[int, int]]) -> byte
     source frame by walking it, so this is pure byte slicing: the
     zero-decode router's tool for carving per-shard sub-batches out of
     one incoming wire frame.  Passing every span of ``batch`` in order
-    reproduces it byte-for-byte.
+    reproduces it byte-for-byte.  This *is* a copy of every span it
+    regroups, and says so (:func:`note_span_copies`): callers that can
+    pass a whole frame through untouched should prefer that.
     """
+    note_span_copies(len(spans))
     return b"".join(
         [pack_uint(VP_BATCH_VERSION, 1), pack_uint(len(spans), 4)]
         + [batch[start:end] for start, end in spans]

@@ -566,7 +566,7 @@ class ShardedStore(VPStore):
             with self._pool_lock:
                 self._active_batches -= 1
 
-    def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
+    def insert_encoded(self, batch: bytes | memoryview, strict: bool = False) -> int:
         """Zero-decode batch ingest: slice the frame, forward the bytes.
 
         The routing tier's half of the wire fast path: records are

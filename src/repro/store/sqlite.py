@@ -586,10 +586,17 @@ class SQLiteStore(VPStore):
         path of the process shard workers.  ``strict`` makes duplicates
         raise ``ValidationError`` (single-insert semantics); otherwise
         they are skipped and the newly stored count is returned.
+
+        ``batch`` may be a read-only :class:`memoryview` (the streaming
+        front-end's receive buffer): bodies are bound to SQLite as
+        buffer objects *without* a ``bytes`` copy — the span the parser
+        assembled off the socket is the span ``executemany`` binds.
+        Only the 16-byte ids are materialized (dict keys in the
+        group-commit pending buffer must be hashable).
         """
         with stage_timer(self.metrics, "store.insert") as timing:
             rows = [
-                (bytes(vp_id), minute, trusted, x0, y0, x1, y1, bytes(body))
+                (bytes(vp_id), minute, trusted, x0, y0, x1, y1, body)
                 for vp_id, minute, trusted, x0, y0, x1, y1, body in iter_encoded_rows(batch)
             ]
             with self._write_lock:

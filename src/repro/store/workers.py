@@ -210,6 +210,14 @@ def _worker_main(conn: Connection, spec: dict) -> None:
                 store.close()  # flushes; acked only once durable
                 conn.send(("ok", None))
                 break
+            if request[0] == "batch_raw":
+                # the frame travels out-of-band as one raw pipe write —
+                # no pickling, and on the parent side no copy of the
+                # receive-buffer span it was handed (memoryviews go
+                # straight to ``send_bytes``)
+                frame = conn.recv_bytes()
+                conn.send(("ok", store.insert_encoded(frame, strict=request[1])))
+                continue
             conn.send(("ok", _dispatch(store, request)))
         except Exception as exc:
             try:
@@ -287,13 +295,24 @@ class WorkerShard(VPStore):
             raise _exception_for(reply[1], reply[2])
         return reply[1]
 
-    def _request(self, *message: object) -> object:
-        """Send one command and return its result (or raise its error)."""
+    def _request(
+        self, *message: object, payload: bytes | memoryview | None = None
+    ) -> object:
+        """Send one command and return its result (or raise its error).
+
+        ``payload`` rides out-of-band after the pickled command tuple as
+        one raw ``send_bytes`` write — the zero-copy lane for framed
+        batch buffers (a :class:`memoryview` is written straight from
+        the caller's receive buffer; pickling would both copy it and
+        fail, since memoryviews are not picklable).
+        """
         with self._lock:
             if self._closed or self._broken:
                 raise StorageError("shard worker is closed or abandoned")
             try:
                 self._conn.send(message)
+                if payload is not None:
+                    self._conn.send_bytes(payload)
                 return self._receive()
             except (EOFError, OSError) as exc:
                 self._abandon()
@@ -321,18 +340,28 @@ class WorkerShard(VPStore):
             return 0
         return self._request("batch", encode_vp_batch(vps))
 
-    def insert_encoded(self, batch: bytes, strict: bool = False) -> int:
+    def insert_encoded(self, batch: bytes | memoryview, strict: bool = False) -> int:
         """Forward an already-framed batch buffer to the worker as-is.
 
         The zero-decode hand-off: the buffer a wire frame (or a sharded
         router's slice of one) arrives in IS the worker IPC framing, so
         ingest is a pure pipe write — no decode, no re-encode, no
-        object materialization on the parent's GIL.
+        object materialization on the parent's GIL.  A ``memoryview``
+        span (the streaming front-end's receive buffer) rides
+        out-of-band via ``send_bytes`` without ever materializing
+        ``bytes`` on this side of the pipe; ``bytes`` buffers keep the
+        single-write pickled lane (one pipe round-trip beats two — the
+        out-of-band hand-off exists for zero-copy, not speed).
         """
+        if isinstance(batch, memoryview):
+            result = self._request("batch_raw", bool(strict), payload=batch)
+            if strict:
+                # strict admits every record or raises; the count is the
+                # frame header's, no need to re-walk the buffer
+                return unpack_uint(batch[1:5])
+            return result
         if strict:
             self._request("insert", batch)
-            # strict admits every record or raises; the count is the
-            # frame header's, no need to re-walk the buffer
             return unpack_uint(batch[1:5])
         return self._request("batch", batch)
 

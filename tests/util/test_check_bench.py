@@ -1,0 +1,77 @@
+"""The benchmark gate carries gauges through reduce + summary rendering."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench  # noqa: E402  (path set up above)
+
+
+def report(fullname: str, median: float, extra_info: dict | None = None) -> dict:
+    return {
+        "benchmarks": [
+            {
+                "fullname": fullname,
+                "stats": {"median": median, "mean": median, "rounds": 3},
+                "extra_info": extra_info or {},
+            }
+        ]
+    }
+
+
+class TestReduceReport:
+    def test_gauges_survive_reduction(self):
+        gauges = {"server.admission.depth": 1571.0, "server.upload.shed_rate": 0.0}
+        reduced = check_bench.reduce_report(
+            report("b.py::test_stream", 1.0, {"gauges": gauges})
+        )
+        assert reduced["b.py::test_stream"]["gauges"] == gauges
+
+    def test_entries_without_extras_stay_flat(self):
+        reduced = check_bench.reduce_report(report("b.py::test_plain", 2.0))
+        assert set(reduced["b.py::test_plain"]) == {"median", "mean", "rounds"}
+
+
+class TestSummaryTable:
+    def test_gauge_subrows_render_baseline_and_run(self):
+        baseline = {
+            "b.py::t": {
+                "median": 1.0,
+                "mean": 1.0,
+                "rounds": 3,
+                "gauges": {"server.admission.depth": 1200.0},
+            }
+        }
+        current = {
+            "b.py::t": {
+                "median": 1.1,
+                "mean": 1.1,
+                "rounds": 3,
+                "gauges": {
+                    "server.admission.depth": 1571.0,
+                    "server.upload.shed_rate": 0.25,
+                },
+            }
+        }
+        lines = check_bench.delta_table(baseline, current, 0.25, require_all=True)
+        depth = next(line for line in lines if "server.admission.depth" in line)
+        assert "(gauge)" in depth
+        assert "1,200" in depth and "1,571" in depth
+        shed = next(line for line in lines if "server.upload.shed_rate" in line)
+        assert "— " in shed and "0.25" in shed  # no baseline value yet
+
+    def test_gauge_free_tables_unchanged(self):
+        entry = {"median": 1.0, "mean": 1.0, "rounds": 3}
+        lines = check_bench.delta_table({"b.py::t": entry}, {"b.py::t": entry}, 0.25, False)
+        assert not any("(gauge)" in line for line in lines)
+
+    def test_verdicts_still_gate_medians(self):
+        base = {"median": 1.0, "mean": 1.0, "rounds": 3}
+        slow = {"median": 1.5, "mean": 1.5, "rounds": 3}
+        assert check_bench.verdict(base, slow, 0.25, False) == "REGRESSED"
+        assert check_bench.verdict(base, base, 0.25, False) == "OK"
+        assert check_bench.verdict(None, base, 0.25, True) == "NEW"

@@ -50,7 +50,10 @@ def reduce_report(report: dict) -> dict[str, dict[str, float]]:
     p50, p99, p999}}`` payload, see ``benchmarks/test_slo_observability``)
     keeps them in the reduced entry, so ``--update`` persists them into
     the baseline and the summary table can render the percentile
-    columns next to the medians.
+    columns next to the medians.  Likewise a flat
+    ``extra_info["gauges"]`` payload (``{name: value}``, see
+    ``benchmarks/test_streaming_ingest``: admission queue depth, shed
+    rate) rides along and renders as per-gauge sub-rows.
     """
     reduced = {}
     for bench in report.get("benchmarks", []):
@@ -60,9 +63,13 @@ def reduce_report(report: dict) -> dict[str, dict[str, float]]:
             "mean": stats["mean"],
             "rounds": stats["rounds"],
         }
-        percentiles = (bench.get("extra_info") or {}).get("percentiles")
+        extra = bench.get("extra_info") or {}
+        percentiles = extra.get("percentiles")
         if percentiles:
             entry["percentiles"] = percentiles
+        gauges = extra.get("gauges")
+        if gauges:
+            entry["gauges"] = gauges
         reduced[bench["fullname"]] = entry
     return reduced
 
@@ -93,6 +100,13 @@ def _fmt_p(row: dict | None, key: str) -> str:
     return f"{1e3 * row[key]:.1f}ms"
 
 
+def _fmt_gauge(value: object) -> str:
+    """One gauge cell: plain numbers, thousands-grouped when large."""
+    if not isinstance(value, (int, float)):
+        return "—"
+    return f"{value:,.0f}" if abs(value) >= 1000 else f"{value:.4g}"
+
+
 def delta_table(
     baseline: dict, current: dict, threshold: float, require_all: bool
 ) -> list[str]:
@@ -104,7 +118,11 @@ def delta_table(
     carries a percentile payload additionally renders one indented
     sub-row per instrumented stage with this run's p50/p99/p999 (the
     baseline's if the stage vanished from the run), so tail-latency
-    shifts show up in the same table as throughput medians.
+    shifts show up in the same table as throughput medians.  A gauges
+    payload renders one sub-row per gauge with the baseline value in
+    the baseline column and this run's in the run column — admission
+    queue depth or shed rate drifting shows up next to the timing it
+    explains.
     """
     has_percentiles = any(
         (entry or {}).get("percentiles")
@@ -145,6 +163,14 @@ def delta_table(
                 f"| &nbsp;&nbsp;↳ `{stage}` | — | — | — | — "
                 f"| {_fmt_p(row, 'p50')} | {_fmt_p(row, 'p99')} "
                 f"| {_fmt_p(row, 'p999')} |"
+            )
+        base_gauges = (base or {}).get("gauges") or {}
+        got_gauges = (got or {}).get("gauges") or {}
+        for gauge in sorted(set(base_gauges) | set(got_gauges)):
+            lines.append(
+                f"| &nbsp;&nbsp;↳ `{gauge}` (gauge) "
+                f"| {_fmt_gauge(base_gauges.get(gauge))} "
+                f"| {_fmt_gauge(got_gauges.get(gauge))} | — | — |{p_blank}"
             )
     lines.append("")
     return lines
